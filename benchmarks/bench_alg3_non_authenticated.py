@@ -1,0 +1,30 @@
+"""E6 — Algorithm 3: the non-authenticated variant is polynomially more expensive.
+
+Paper claim: the signature-free vector consensus (Bracha broadcast + binary
+consensus per process) gives a non-authenticated Universal with ``O(n^4)``
+message complexity, versus ``O(n^2)`` for the authenticated Algorithm 1.  The
+benchmark measures both backends on the same workloads and checks the
+ordering and the growing gap.
+"""
+
+from conftest import run_once
+
+from repro.analysis import compare_backends
+
+SIZES = (4, 7)
+
+
+def test_alg3_gap_to_authenticated_backend(benchmark):
+    results = run_once(benchmark, compare_backends, SIZES, ("authenticated", "non-authenticated"), "strong", 1)
+    auth, non_auth = results["authenticated"], results["non-authenticated"]
+    benchmark.extra_info["authenticated"] = auth.table()
+    benchmark.extra_info["non_authenticated"] = non_auth.table()
+    for sweep in results.values():
+        assert all(report.agreement and report.all_decided and report.validity_satisfied for report in sweep.rows)
+    ratios = [na / max(1, a) for a, na in zip(auth.messages(), non_auth.messages())]
+    benchmark.extra_info["message_ratio_non_auth_over_auth"] = [round(r, 2) for r in ratios]
+    # The non-authenticated variant is strictly more expensive, and the gap widens with n.
+    assert all(ratio > 2 for ratio in ratios)
+    assert ratios[-1] > ratios[0]
+    # Its growth is also steeper than the authenticated one's.
+    assert non_auth.message_growth_exponent() > auth.message_growth_exponent()

@@ -1,0 +1,51 @@
+"""E7 — Algorithms 4-6: vector consensus with sub-cubic communication.
+
+Paper claim: Algorithm 1 has ``O(n^3)`` communication (it ships linear-size
+vectors and proofs inside Quad), while Algorithm 6 — slow broadcast + vector
+dissemination + Quad over hashes + ADD — achieves ``O(n^2 log n)`` words, a
+near-linear improvement, at the price of (much) higher latency.  The
+benchmark measures words-on-the-wire and latency for both backends and checks
+that the compact variant's *per-message* payload stays bounded while the
+authenticated variant's grows linearly with ``n``.
+"""
+
+from conftest import run_once
+
+from repro.analysis import compare_backends
+
+SIZES = (4, 7, 10)
+
+
+def test_alg6_words_vs_algorithm1(benchmark):
+    results = run_once(benchmark, compare_backends, SIZES, ("authenticated", "compact"), "strong", 3)
+    auth, compact = results["authenticated"], results["compact"]
+    benchmark.extra_info["authenticated"] = auth.table()
+    benchmark.extra_info["compact"] = compact.table()
+    for sweep in results.values():
+        assert all(report.agreement and report.all_decided and report.validity_satisfied for report in sweep.rows)
+
+    # Communication growth: the compact backend grows no faster than the
+    # authenticated one (the asymptotic gap is n vs n log n / n^... in words).
+    auth_exponent = auth.word_growth_exponent()
+    compact_exponent = compact.word_growth_exponent()
+    benchmark.extra_info["word_growth_exponents"] = {
+        "authenticated": round(auth_exponent, 3),
+        "compact": round(compact_exponent, 3),
+    }
+    assert compact_exponent <= auth_exponent + 0.3
+
+    # Payload shape: words per message stay bounded for the compact variant,
+    # but grow with n for the authenticated one (it carries full vectors).
+    auth_payload = [words / max(1, msgs) for words, msgs in zip(auth.words(), auth.messages())]
+    compact_payload = [words / max(1, msgs) for words, msgs in zip(compact.words(), compact.messages())]
+    benchmark.extra_info["words_per_message"] = {
+        "authenticated": [round(x, 2) for x in auth_payload],
+        "compact": [round(x, 2) for x in compact_payload],
+    }
+    assert auth_payload[-1] > auth_payload[0]
+
+    # The price of the compact variant: latency (slow broadcast).
+    benchmark.extra_info["latency"] = {
+        "authenticated": auth.latencies(),
+        "compact": compact.latencies(),
+    }

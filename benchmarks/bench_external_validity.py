@@ -1,0 +1,76 @@
+"""E9 — Appendix C: External Validity on a committee blockchain.
+
+Paper claim (qualitative): the extended formalism with discovery functions and
+adversary pools captures blockchain-style External Validity; decisions are
+batches of client-signed transactions satisfying an external predicate, and
+in canonical executions only transactions observed by correct servers can be
+ordered.  The benchmark runs the committee-blockchain consensus and checks
+the predicate, the discovery assumptions, and agreement.
+"""
+
+from conftest import run_once
+
+from repro.consensus import universal_process_factory
+from repro.core import InputConfiguration, SystemConfig, UniversalSpec, ValidityProperty
+from repro.core.extended import (
+    ClientWallet,
+    ExtendedInputConfiguration,
+    TransactionVerifier,
+    batch_decision_rule,
+    external_validity_property,
+)
+from repro.sim import Simulation, SynchronousDelayModel, silent_factory
+
+
+def _run_blockchain_round():
+    system = SystemConfig(4, 1)
+    verifier = TransactionVerifier()
+    wallets = {name: ClientWallet(name) for name in ("alice", "bob", "carol")}
+    hidden = wallets["carol"].issue(9, "known only to the Byzantine server")
+    proposals = {
+        0: (wallets["alice"].issue(1, "pay bob"), wallets["bob"].issue(1, "pay carol")),
+        1: (wallets["alice"].issue(1, "pay bob"),),
+        2: (wallets["carol"].issue(1, "pay alice"), wallets["bob"].issue(1, "pay carol")),
+        3: (hidden,),
+    }
+
+    class BatchValidity(ValidityProperty):
+        name = "external-validity-projection"
+
+        def is_admissible(self, config, value):
+            return verifier.batch_is_valid(value)
+
+    spec = UniversalSpec(system=system, validity=BatchValidity(), decision_rule=batch_decision_rule(verifier))
+    simulation = Simulation(system, delay_model=SynchronousDelayModel(seed=13))
+    simulation.populate(
+        universal_process_factory(spec, proposals), faulty=[3], faulty_factory=silent_factory
+    )
+    simulation.run_until_all_correct_decide(until=5_000)
+    batch = next(iter(simulation.decisions().values()))
+    extended = ExtendedInputConfiguration.build(
+        InputConfiguration.from_mapping({pid: proposals[pid] for pid in simulation.correct_processes}),
+        adversary_pool=[hidden],
+    )
+    return {
+        "simulation": simulation,
+        "verifier": verifier,
+        "property": external_validity_property(verifier),
+        "batch": batch,
+        "extended": extended,
+        "hidden": hidden,
+    }
+
+
+def test_external_validity_blockchain_round(benchmark):
+    outcome = run_once(benchmark, _run_blockchain_round)
+    simulation = outcome["simulation"]
+    batch = outcome["batch"]
+    benchmark.extra_info["batch_size"] = len(batch)
+    benchmark.extra_info["messages"] = simulation.metrics.message_complexity
+    assert simulation.agreement_holds() and simulation.all_correct_decided()
+    assert outcome["verifier"].batch_is_valid(batch)
+    prop = outcome["property"]
+    assert prop.is_admissible(outcome["extended"], batch)
+    # Canonical execution (silent faulty server): the hidden transaction cannot be ordered.
+    assert prop.execution_respects_assumptions(outcome["extended"], batch, canonical=True)
+    assert outcome["hidden"] not in batch

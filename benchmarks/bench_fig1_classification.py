@@ -1,0 +1,38 @@
+"""E1 — Figure 1: the landscape of validity properties.
+
+Paper claim: validity properties split into trivial ⊂ solvable ⊂ all; for
+``n > 3t`` solvable = satisfies ``C_S``; for ``n <= 3t`` solvable = trivial.
+The benchmark classifies the named properties and a uniform sample of the
+whole property space and checks those containments.
+"""
+
+from conftest import run_once
+
+from repro.analysis import figure1_report
+from repro.core import SystemConfig
+
+
+def test_fig1_named_and_sampled_properties_high_resilience(benchmark):
+    report = run_once(benchmark, figure1_report, SystemConfig(4, 1), (0, 1), 40, 1)
+    rows = {row["property"]: row for row in report.named_rows()}
+    benchmark.extra_info["named"] = report.named_rows()
+    benchmark.extra_info["sampled"] = report.sampled.as_dict()
+    # Figure 1 containments hold on the sampled population.
+    assert report.sampled.consistent_with_figure_1(SystemConfig(4, 1))
+    # Named properties land where the literature says they do.
+    assert rows["strong"]["solvable"] and not rows["strong"]["trivial"]
+    assert rows["weak"]["solvable"]
+    assert rows["free"]["trivial"] and rows["free"]["solvable"]
+    assert rows["constant"]["trivial"]
+
+
+def test_fig1_low_resilience_collapses_to_trivial(benchmark):
+    report = run_once(benchmark, figure1_report, SystemConfig(3, 1), (0, 1), 40, 2)
+    benchmark.extra_info["named"] = report.named_rows()
+    benchmark.extra_info["sampled"] = report.sampled.as_dict()
+    assert report.sampled.consistent_with_figure_1(SystemConfig(3, 1))
+    # With n <= 3t the solvable-non-trivial region of Figure 1 is empty.
+    assert report.sampled.solvable_non_trivial == 0
+    for row in report.named_rows():
+        if row["solvable"]:
+            assert row["trivial"], row

@@ -1,0 +1,36 @@
+"""E10 — Latency of the vector-consensus backends (Section 5.2, footnote 5 and Appendix B.3).
+
+Paper claim: the authenticated (Algorithm 1) and non-authenticated
+(Algorithm 3) vector-consensus implementations have linear latency, so
+Universal on top of them is fast; the ``O(n^2 log n)``-communication variant
+(Algorithm 6) is "highly impractical" latency-wise because of slow broadcast.
+The benchmark measures decision latency (in simulated time, with delta = 1)
+for all three backends and checks the ordering and the blow-up of the compact
+variant as ``n`` grows.
+"""
+
+from conftest import run_once
+
+from repro.analysis import run_universal_execution
+from repro.core import SystemConfig
+
+
+def test_latency_ordering_of_backends(benchmark):
+    def measure():
+        rows = {}
+        for n in (4, 7):
+            system = SystemConfig.with_optimal_resilience(n)
+            for backend in ("authenticated", "non-authenticated", "compact"):
+                report = run_universal_execution(system, backend=backend, seed=5)
+                rows[(n, backend)] = report.decision_latency
+        return rows
+
+    rows = run_once(benchmark, measure)
+    benchmark.extra_info["latency"] = {f"n={n},{backend}": round(value, 2) for (n, backend), value in rows.items()}
+    for n in (4, 7):
+        # Slow broadcast makes the compact variant the slowest at every size.
+        assert rows[(n, "compact")] > rows[(n, "authenticated")]
+    # And its latency grows much faster with n than the authenticated backend's.
+    compact_growth = rows[(7, "compact")] / rows[(4, "compact")]
+    auth_growth = rows[(7, "authenticated")] / max(1e-9, rows[(4, "authenticated")])
+    assert compact_growth > auth_growth

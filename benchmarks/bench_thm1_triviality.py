@@ -1,0 +1,30 @@
+"""E2 — Theorem 1: with ``n <= 3t`` non-trivial consensus is impossible.
+
+Paper claim: for ``n <= 3t`` every solvable validity property is trivial; the
+proof's split-brain construction (Lemma 2) breaks Agreement for any algorithm
+attempting a non-trivial property.  The benchmark runs that adversary against
+the library's Universal at ``n = 3t`` (attack succeeds) and at ``n = 3t + 1``
+(attack fails).
+"""
+
+from conftest import run_once
+
+from repro.analysis import run_partitioning_attack
+from repro.core import SystemConfig
+
+
+def test_thm1_split_brain_succeeds_at_n_equal_3t(benchmark):
+    report = run_once(benchmark, run_partitioning_attack, 2)
+    benchmark.extra_info["summary"] = report.summary()
+    assert report.system.n == 3 * report.system.t
+    assert report.all_correct_decided
+    assert report.agreement_violated
+    assert set(report.decisions_a.values()) == {0}
+    assert set(report.decisions_c.values()) == {1}
+
+
+def test_thm1_split_brain_fails_when_n_gt_3t(benchmark):
+    report = run_once(benchmark, run_partitioning_attack, 2, "strong", 0, 1, 400.0, 1, SystemConfig(7, 2))
+    benchmark.extra_info["summary"] = report.summary()
+    assert not report.agreement_violated
+    assert report.all_correct_decided

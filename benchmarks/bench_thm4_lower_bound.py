@@ -1,0 +1,34 @@
+"""E4 — Theorem 4: non-trivial consensus requires Omega(t^2) messages.
+
+Paper claim: any algorithm solving a non-trivial (solvable) validity property
+has executions exchanging more than ``(t/2)^2`` messages; protocols below the
+bound can be attacked into disagreement.  The benchmark runs the
+Dolev-Reischuk-style isolation adversary against a cheap O(n) strawman (it
+disagrees) and against Universal (it does not, and its message count exceeds
+the threshold at every size).
+"""
+
+from conftest import run_once
+
+from repro.analysis import run_lower_bound_experiment
+
+
+def test_thm4_cheap_protocol_is_broken_universal_is_not(benchmark):
+    report = run_once(benchmark, run_lower_bound_experiment, 10)
+    benchmark.extra_info["summary"] = report.summary()
+    assert report.cheap_agreement_violated
+    assert not report.universal_agreement_violated
+    assert report.universal_exceeds_threshold
+    assert report.cheap_messages < report.threshold * 4
+
+
+def test_thm4_threshold_vs_universal_across_sizes(benchmark):
+    def sweep():
+        return {n: run_lower_bound_experiment(n=n).summary() for n in (7, 10, 13)}
+
+    rows = run_once(benchmark, sweep)
+    benchmark.extra_info["rows"] = rows
+    for n, summary in rows.items():
+        assert summary["universal_messages"] > summary["threshold_(t/2)^2"]
+        assert not summary["universal_disagrees"]
+        assert summary["cheap_protocol_disagrees"]

@@ -1,0 +1,42 @@
+"""E8 — Section 5.2: every solvable consensus variant from vector consensus.
+
+Paper claim: the design of Universal shows that any solvable, non-trivial
+consensus variant can be solved via vector consensus at no extra cost — only
+the final ``Lambda`` application differs.  The benchmark runs one workload per
+named validity property and checks that every decision is admissible and that
+the message cost is essentially identical across variants (same backend, same
+workload).
+"""
+
+from conftest import run_once
+
+from repro.analysis import run_universal_execution
+from repro.core import SystemConfig
+
+PROPERTIES = ("strong", "weak", "correct-proposal", "median", "convex-hull", "interval")
+
+
+def test_universal_solves_every_standard_variant(benchmark):
+    def run_all():
+        system = SystemConfig(7, 2)
+        proposals = {0: 3, 1: 3, 2: 3, 3: 5, 4: 1, 5: 3, 6: 9}
+        return {
+            key: run_universal_execution(
+                system,
+                property_key=key,
+                backend="authenticated",
+                proposals=proposals,
+                faulty=(5, 6),
+                seed=11,
+            )
+            for key in PROPERTIES
+        }
+
+    reports = run_once(benchmark, run_all)
+    benchmark.extra_info["rows"] = {key: report.summary_row() for key, report in reports.items()}
+    for key, report in reports.items():
+        assert report.agreement and report.all_decided, key
+        assert report.validity_satisfied, key
+    message_counts = [report.message_complexity for report in reports.values()]
+    # Same backend, same workload: the variant only changes Lambda, not the cost.
+    assert max(message_counts) - min(message_counts) <= 0.2 * max(message_counts)

@@ -1,0 +1,20 @@
+"""Benchmark harness configuration.
+
+Each benchmark regenerates one of the paper's figures/claims (see DESIGN.md's
+per-experiment index and EXPERIMENTS.md for paper-vs-measured).  The heavy
+simulations are run once per benchmark (``rounds=1``) — the quantity of
+interest is the measured complexity shape stored in ``extra_info``, not the
+wall-clock timing statistics.
+"""
+
+import pathlib
+import sys
+
+_SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run ``func`` exactly once under the benchmark timer and return its result."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1, warmup_rounds=0)

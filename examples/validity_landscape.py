@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""The Figure 1 landscape: which validity properties are solvable, and why.
+
+Classifies the named validity properties from the literature in two
+resilience regimes (n > 3t and n = 3t), samples the space of *all* validity
+properties over a tiny system, and re-derives the Fitzi-Garay threshold for
+Correct-Proposal Validity ("strong consensus") as a function of |V|.
+
+Run with:  python examples/validity_landscape.py
+"""
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.analysis import figure1_report, sample_validity_property_space
+from repro.core import CorrectProposalValidity, SystemConfig, classify
+
+
+def print_table(rows, columns):
+    widths = {col: max(len(col), *(len(str(row[col])) for row in rows)) for col in columns}
+    header = "  ".join(col.ljust(widths[col]) for col in columns)
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print("  ".join(str(row[col]).ljust(widths[col]) for col in columns))
+    print()
+
+
+def main() -> None:
+    print("=== Named validity properties, n=4, t=1 (n > 3t) ===")
+    report = figure1_report(SystemConfig(4, 1), domain=(0, 1))
+    print_table(report.named_rows(), ["property", "trivial", "satisfies_C_S", "solvable"])
+
+    print("=== Named validity properties, n=3, t=1 (n <= 3t: only trivial ones survive) ===")
+    report_low = figure1_report(SystemConfig(3, 1), domain=(0, 1))
+    print_table(report_low.named_rows(), ["property", "trivial", "satisfies_C_S", "solvable"])
+
+    print("=== Sampling the space of ALL validity properties (n=3, t=1, |V|=2) ===")
+    counts = sample_validity_property_space(SystemConfig(3, 1), [0, 1], [0, 1], samples=60, seed=7)
+    print(counts.as_dict())
+    print(f"consistent with Figure 1: {counts.consistent_with_figure_1(SystemConfig(3, 1))}")
+    print()
+
+    print("=== Correct-Proposal Validity: the n > (|V|+1)t threshold, re-derived ===")
+    rows = []
+    for n in (4, 5):
+        for domain_size in (2, 3):
+            domain = list(range(domain_size))
+            verdict = classify(CorrectProposalValidity(domain), SystemConfig(n, 1), domain)
+            rows.append(
+                {
+                    "n": n,
+                    "t": 1,
+                    "|V|": domain_size,
+                    "classifier says solvable": verdict.solvable,
+                    "n > (|V|+1)t": n > (domain_size + 1) * 1,
+                }
+            )
+    print_table(rows, ["n", "t", "|V|", "classifier says solvable", "n > (|V|+1)t"])
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""Experiment drivers: classification (Figure 1), complexity sweeps, lower-bound and partitioning adversaries."""
+
+from .classification import (
+    ClassificationCounts,
+    Figure1Report,
+    classify_standard_properties,
+    figure1_report,
+    sample_validity_property_space,
+)
+from .complexity import (
+    ExecutionReport,
+    SweepResult,
+    compare_backends,
+    default_proposals,
+    fit_growth_exponent,
+    run_universal_execution,
+    sweep_universal_complexity,
+)
+from .lower_bound import (
+    CheapLeaderConsensus,
+    CheapLeaderProcess,
+    LowerBoundReport,
+    dolev_reischuk_threshold,
+    run_lower_bound_experiment,
+    threshold_sweep,
+)
+from .partitioning import PartitionAttackReport, SplitBrainProcess, run_partitioning_attack
+
+__all__ = [
+    "ClassificationCounts",
+    "Figure1Report",
+    "classify_standard_properties",
+    "figure1_report",
+    "sample_validity_property_space",
+    "ExecutionReport",
+    "SweepResult",
+    "compare_backends",
+    "default_proposals",
+    "fit_growth_exponent",
+    "run_universal_execution",
+    "sweep_universal_complexity",
+    "LowerBoundReport",
+    "CheapLeaderConsensus",
+    "CheapLeaderProcess",
+    "dolev_reischuk_threshold",
+    "run_lower_bound_experiment",
+    "threshold_sweep",
+    "PartitionAttackReport",
+    "SplitBrainProcess",
+    "run_partitioning_attack",
+]

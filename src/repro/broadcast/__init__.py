@@ -1,0 +1,7 @@
+"""Broadcast abstractions: best-effort, Byzantine-reliable and slow broadcast."""
+
+from .best_effort import BestEffortBroadcast
+from .reliable import ByzantineReliableBroadcast
+from .slow import SlowBroadcast
+
+__all__ = ["BestEffortBroadcast", "ByzantineReliableBroadcast", "SlowBroadcast"]

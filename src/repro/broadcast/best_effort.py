@@ -1,0 +1,55 @@
+"""Best-effort broadcast (the paper's ``beb`` building block).
+
+Best-effort broadcast simply sends a message to every process over the
+authenticated point-to-point links.  It gives no guarantees when the sender
+is faulty; when the sender is correct, reliability of the links ensures that
+every correct process eventually delivers the message.  Both vector-consensus
+algorithms of the paper use it for their ``proposal`` and ``confirm``
+messages.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from ..sim.process import Process, ProtocolModule
+
+DeliverCallback = Callable[[int, Any], None]
+
+
+class BestEffortBroadcast(ProtocolModule):
+    """Best-effort broadcast module.
+
+    Args:
+        process: Owning process.
+        name: Module name (unique among siblings).
+        parent: Parent module, if any.
+        on_deliver: Callback invoked as ``on_deliver(sender, message)`` for
+            every received broadcast message.
+    """
+
+    def __init__(
+        self,
+        process: Process,
+        name: str = "beb",
+        parent: Optional[ProtocolModule] = None,
+        on_deliver: Optional[DeliverCallback] = None,
+    ):
+        super().__init__(process, name, parent)
+        self._on_deliver = on_deliver
+
+    def set_deliver_callback(self, on_deliver: DeliverCallback) -> None:
+        """Attach (or replace) the delivery callback."""
+        self._on_deliver = on_deliver
+
+    def broadcast_message(self, message: Any) -> None:
+        """Broadcast ``message`` to all ``n`` processes (including ourselves)."""
+        self.broadcast(message)
+
+    def send_message(self, receiver: int, message: Any) -> None:
+        """Point-to-point variant, for protocols that reply to a single process."""
+        self.send(receiver, message)
+
+    def on_message(self, sender: int, payload: Any) -> None:
+        if self._on_deliver is not None:
+            self._on_deliver(sender, payload)

@@ -1,0 +1,120 @@
+"""Byzantine reliable broadcast (Bracha) — the ``brb`` building block.
+
+The non-authenticated vector consensus (Algorithm 3 of the paper) relies on
+Bracha's signature-free Byzantine reliable broadcast, which guarantees:
+
+* *Validity*: if a correct process broadcasts ``m``, it eventually delivers ``m``.
+* *Consistency*: no two correct processes deliver different messages from the
+  same origin.
+* *Integrity*: at most one message is delivered per origin, and if the origin
+  is correct it is the message that origin broadcast.
+* *Totality*: if a correct process delivers a message from an origin, every
+  correct process eventually delivers a message from that origin.
+
+This implementation multiplexes every origin over one module: each process
+may broadcast one message, and deliveries are reported as
+``on_deliver(origin, message)``.  The echo/ready thresholds are the standard
+ones for ``n > 3t``: ``ceil((n + t + 1) / 2)`` echoes to send ``ready``,
+``t + 1`` readies to amplify, ``2t + 1`` readies to deliver.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional, Set, Tuple
+
+from ..crypto.hashing import digest
+from ..sim.process import Process, ProtocolModule
+
+DeliverCallback = Callable[[int, Any], None]
+
+_SEND = "send"
+_ECHO = "echo"
+_READY = "ready"
+
+
+class ByzantineReliableBroadcast(ProtocolModule):
+    """Bracha reliable broadcast for every origin in the system."""
+
+    def __init__(
+        self,
+        process: Process,
+        name: str = "brb",
+        parent: Optional[ProtocolModule] = None,
+        on_deliver: Optional[DeliverCallback] = None,
+    ):
+        super().__init__(process, name, parent)
+        self._on_deliver = on_deliver
+        n, t = self.system.n, self.system.t
+        self.echo_threshold = (n + t) // 2 + 1
+        self.ready_amplification_threshold = t + 1
+        self.delivery_threshold = 2 * t + 1
+        # Per-origin state, keyed by origin process index.
+        self._echoed: Set[Tuple[int, str]] = set()
+        self._readied: Set[Tuple[int, str]] = set()
+        self._delivered: Set[int] = set()
+        self._echo_senders: Dict[Tuple[int, str], Set[int]] = {}
+        self._ready_senders: Dict[Tuple[int, str], Set[int]] = {}
+        self._payloads: Dict[Tuple[int, str], Any] = {}
+
+    def set_deliver_callback(self, on_deliver: DeliverCallback) -> None:
+        self._on_deliver = on_deliver
+
+    # ------------------------------------------------------------------
+    def broadcast_message(self, message: Any) -> None:
+        """Reliably broadcast ``message`` with this process as the origin."""
+        self.broadcast((_SEND, message))
+
+    # ------------------------------------------------------------------
+    def on_message(self, sender: int, payload: Any) -> None:
+        if not isinstance(payload, tuple) or not payload:
+            return
+        kind = payload[0]
+        if kind == _SEND and len(payload) == 2:
+            self._handle_send(sender, payload[1])
+        elif kind == _ECHO and len(payload) == 3:
+            self._handle_echo(sender, payload[1], payload[2])
+        elif kind == _READY and len(payload) == 3:
+            self._handle_ready(sender, payload[1], payload[2])
+
+    def _handle_send(self, origin: int, message: Any) -> None:
+        key = (origin, digest(message))
+        if (origin, digest(message)) in self._echoed:
+            return
+        if any(existing[0] == origin for existing in self._echoed):
+            # The origin equivocated; echo only its first message.
+            return
+        self._echoed.add(key)
+        self._payloads[key] = message
+        self.broadcast((_ECHO, origin, message))
+
+    def _handle_echo(self, sender: int, origin: int, message: Any) -> None:
+        key = (origin, digest(message))
+        self._payloads.setdefault(key, message)
+        senders = self._echo_senders.setdefault(key, set())
+        senders.add(sender)
+        if len(senders) >= self.echo_threshold:
+            self._send_ready(key, message)
+
+    def _handle_ready(self, sender: int, origin: int, message: Any) -> None:
+        key = (origin, digest(message))
+        self._payloads.setdefault(key, message)
+        senders = self._ready_senders.setdefault(key, set())
+        senders.add(sender)
+        if len(senders) >= self.ready_amplification_threshold:
+            self._send_ready(key, message)
+        if len(senders) >= self.delivery_threshold:
+            self._deliver(key)
+
+    def _send_ready(self, key: Tuple[int, str], message: Any) -> None:
+        if key in self._readied:
+            return
+        self._readied.add(key)
+        self.broadcast((_READY, key[0], message))
+
+    def _deliver(self, key: Tuple[int, str]) -> None:
+        origin = key[0]
+        if origin in self._delivered:
+            return
+        self._delivered.add(origin)
+        if self._on_deliver is not None:
+            self._on_deliver(origin, self._payloads[key])

@@ -1,0 +1,7 @@
+"""Erasure/error-correcting coding substrate: GF(256), Reed-Solomon, and ADD."""
+
+from . import gf256
+from .add import AsynchronousDataDissemination
+from .reed_solomon import DecodingError, Fragment, ReedSolomonCode
+
+__all__ = ["gf256", "ReedSolomonCode", "Fragment", "DecodingError", "AsynchronousDataDissemination"]

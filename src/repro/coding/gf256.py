@@ -1,0 +1,138 @@
+"""Arithmetic in the finite field GF(2^8).
+
+The ADD data-dissemination primitive (Appendix B.3) relies on an erasure /
+error-correcting code; this module provides the underlying field arithmetic
+for the Reed-Solomon codec in :mod:`repro.coding.reed_solomon`.  The field is
+GF(2^8) with the AES-style reduction polynomial ``x^8 + x^4 + x^3 + x^2 + 1``
+(0x11D) and generator 2; elements are the integers 0..255.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+_PRIMITIVE_POLYNOMIAL = 0x11D
+FIELD_SIZE = 256
+
+_EXP: List[int] = [0] * (FIELD_SIZE * 2)
+_LOG: List[int] = [0] * FIELD_SIZE
+
+
+def _build_tables() -> None:
+    value = 1
+    for power in range(FIELD_SIZE - 1):
+        _EXP[power] = value
+        _LOG[value] = power
+        value <<= 1
+        if value & 0x100:
+            value ^= _PRIMITIVE_POLYNOMIAL
+    for power in range(FIELD_SIZE - 1, 2 * FIELD_SIZE):
+        _EXP[power] = _EXP[power - (FIELD_SIZE - 1)]
+
+
+_build_tables()
+
+
+def _check(value: int) -> int:
+    if not 0 <= value < FIELD_SIZE:
+        raise ValueError(f"GF(256) elements are integers in [0, 255], got {value}")
+    return value
+
+
+def add(a: int, b: int) -> int:
+    """Field addition (XOR)."""
+    return _check(a) ^ _check(b)
+
+
+def subtract(a: int, b: int) -> int:
+    """Field subtraction (identical to addition in characteristic 2)."""
+    return add(a, b)
+
+
+def multiply(a: int, b: int) -> int:
+    """Field multiplication via log/antilog tables."""
+    _check(a), _check(b)
+    if a == 0 or b == 0:
+        return 0
+    return _EXP[_LOG[a] + _LOG[b]]
+
+
+def inverse(a: int) -> int:
+    """Multiplicative inverse; raises on zero."""
+    _check(a)
+    if a == 0:
+        raise ZeroDivisionError("0 has no multiplicative inverse in GF(256)")
+    return _EXP[(FIELD_SIZE - 1) - _LOG[a]]
+
+
+def divide(a: int, b: int) -> int:
+    """Field division ``a / b``."""
+    return multiply(a, inverse(b))
+
+
+def power(a: int, exponent: int) -> int:
+    """Raise ``a`` to a (possibly negative) integer power."""
+    _check(a)
+    if a == 0:
+        if exponent <= 0:
+            raise ZeroDivisionError("0 cannot be raised to a non-positive power")
+        return 0
+    log = (_LOG[a] * exponent) % (FIELD_SIZE - 1)
+    return _EXP[log]
+
+
+def poly_eval(coefficients: Sequence[int], x: int) -> int:
+    """Evaluate a polynomial (coefficients in increasing degree order) at ``x``."""
+    result = 0
+    for coefficient in reversed(list(coefficients)):
+        result = add(multiply(result, x), coefficient)
+    return result
+
+
+def poly_add(p: Sequence[int], q: Sequence[int]) -> List[int]:
+    """Add two polynomials given in increasing degree order."""
+    longer, shorter = (list(p), list(q)) if len(p) >= len(q) else (list(q), list(p))
+    for index, coefficient in enumerate(shorter):
+        longer[index] = add(longer[index], coefficient)
+    return longer
+
+
+def poly_multiply(p: Sequence[int], q: Sequence[int]) -> List[int]:
+    """Multiply two polynomials given in increasing degree order."""
+    result = [0] * (len(p) + len(q) - 1) if p and q else [0]
+    for i, a in enumerate(p):
+        if a == 0:
+            continue
+        for j, b in enumerate(q):
+            if b == 0:
+                continue
+            result[i + j] = add(result[i + j], multiply(a, b))
+    return result
+
+
+def poly_divmod(numerator: Sequence[int], denominator: Sequence[int]) -> tuple:
+    """Polynomial long division: returns ``(quotient, remainder)``.
+
+    Both inputs are coefficient lists in increasing degree order; the
+    denominator must be non-zero.
+    """
+    num = list(numerator)
+    den = list(denominator)
+    while den and den[-1] == 0:
+        den.pop()
+    if not den:
+        raise ZeroDivisionError("polynomial division by zero")
+    quotient = [0] * max(1, len(num) - len(den) + 1)
+    remainder = list(num)
+    lead_inverse = inverse(den[-1])
+    for shift in range(len(num) - len(den), -1, -1):
+        coefficient = multiply(remainder[shift + len(den) - 1], lead_inverse)
+        quotient[shift] = coefficient
+        if coefficient != 0:
+            for index, den_coefficient in enumerate(den):
+                remainder[shift + index] = subtract(
+                    remainder[shift + index], multiply(den_coefficient, coefficient)
+                )
+    while len(remainder) > 1 and remainder[-1] == 0:
+        remainder.pop()
+    return quotient, remainder

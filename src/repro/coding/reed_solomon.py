@@ -1,0 +1,206 @@
+"""Reed-Solomon coding over GF(256) with Berlekamp-Welch error correction.
+
+ADD (Appendix B.3 / Das-Xiang-Ren) disperses a data blob as ``n`` coded
+symbols such that the blob can be reconstructed from any sufficiently large
+subset of symbols even when up to ``t`` of them are corrupted by Byzantine
+processes.  This module provides exactly that primitive:
+
+* :meth:`ReedSolomonCode.encode` evaluates the degree ``< k`` data polynomial
+  at ``n`` fixed points, producing one symbol per process;
+* :meth:`ReedSolomonCode.decode` runs the Berlekamp-Welch algorithm, which
+  recovers the data polynomial from ``m`` received symbols as long as the
+  number of corrupted ones ``e`` satisfies ``m >= k + 2e``.
+
+Blobs longer than ``k`` bytes are striped: byte ``j`` of fragment ``i`` is the
+``i``-th coded symbol of the ``j``-th chunk of ``k`` data bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from . import gf256
+
+
+class DecodingError(ValueError):
+    """Raised when the received symbols cannot be decoded consistently."""
+
+
+def _solve_linear_system(matrix: List[List[int]], rhs: List[int]) -> Optional[List[int]]:
+    """Solve ``matrix * x = rhs`` over GF(256) by Gaussian elimination.
+
+    Returns one solution (free variables set to zero) or ``None`` when the
+    system is inconsistent.
+    """
+    rows = len(matrix)
+    cols = len(matrix[0]) if rows else 0
+    augmented = [list(row) + [value] for row, value in zip(matrix, rhs)]
+    pivot_columns: List[int] = []
+    pivot_row = 0
+    for column in range(cols):
+        pivot = next((r for r in range(pivot_row, rows) if augmented[r][column] != 0), None)
+        if pivot is None:
+            continue
+        augmented[pivot_row], augmented[pivot] = augmented[pivot], augmented[pivot_row]
+        inverse = gf256.inverse(augmented[pivot_row][column])
+        augmented[pivot_row] = [gf256.multiply(value, inverse) for value in augmented[pivot_row]]
+        for row in range(rows):
+            if row != pivot_row and augmented[row][column] != 0:
+                factor = augmented[row][column]
+                augmented[row] = [
+                    gf256.subtract(value, gf256.multiply(factor, pivot_value))
+                    for value, pivot_value in zip(augmented[row], augmented[pivot_row])
+                ]
+        pivot_columns.append(column)
+        pivot_row += 1
+        if pivot_row == rows:
+            break
+    # Consistency check: a zero row with non-zero RHS means no solution.
+    for row in range(pivot_row, rows):
+        if all(value == 0 for value in augmented[row][:cols]) and augmented[row][cols] != 0:
+            return None
+    solution = [0] * cols
+    for row, column in enumerate(pivot_columns):
+        solution[column] = augmented[row][cols]
+    return solution
+
+
+@dataclass(frozen=True)
+class Fragment:
+    """One process's share of an encoded blob."""
+
+    index: int
+    symbols: Tuple[int, ...]
+    blob_length: int
+
+    def stable_fields(self) -> tuple:
+        return (self.index, self.symbols, self.blob_length)
+
+    @property
+    def words(self) -> int:
+        # Symbols are single bytes; count one word per 64 of them, consistent
+        # with how serialised blobs are measured by the metrics collector.
+        return max(1, (len(self.symbols) + 63) // 64)
+
+
+class ReedSolomonCode:
+    """A ``(n, k)`` Reed-Solomon code over GF(256)."""
+
+    def __init__(self, total_symbols: int, data_symbols: int):
+        if not 1 <= data_symbols <= total_symbols:
+            raise ValueError("need 1 <= data_symbols <= total_symbols")
+        if total_symbols > gf256.FIELD_SIZE - 1:
+            raise ValueError("at most 255 symbols are supported by GF(256)")
+        self.total_symbols = total_symbols
+        self.data_symbols = data_symbols
+        self.evaluation_points = list(range(1, total_symbols + 1))
+
+    # ------------------------------------------------------------------
+    def max_correctable_errors(self, received: int) -> int:
+        """Largest number of corrupted symbols correctable from ``received`` symbols."""
+        return max(0, (received - self.data_symbols) // 2)
+
+    def encode(self, blob: bytes) -> List[Fragment]:
+        """Encode ``blob`` into one fragment per symbol index."""
+        chunks = self._chunk(blob)
+        per_index: List[List[int]] = [[] for _ in range(self.total_symbols)]
+        for chunk in chunks:
+            for position, point in enumerate(self.evaluation_points):
+                per_index[position].append(gf256.poly_eval(chunk, point))
+        return [
+            Fragment(index=index, symbols=tuple(symbols), blob_length=len(blob))
+            for index, symbols in enumerate(per_index)
+        ]
+
+    def decode(self, fragments: Sequence[Fragment]) -> bytes:
+        """Reconstruct the blob from fragments, correcting up to ``(m - k) / 2`` corrupted ones.
+
+        Raises:
+            DecodingError: when the fragments are insufficient or inconsistent.
+        """
+        by_index: Dict[int, Fragment] = {}
+        for fragment in fragments:
+            if not isinstance(fragment, Fragment):
+                continue
+            if not 0 <= fragment.index < self.total_symbols:
+                continue
+            by_index.setdefault(fragment.index, fragment)
+        if len(by_index) < self.data_symbols:
+            raise DecodingError(
+                f"need at least {self.data_symbols} fragments, got {len(by_index)}"
+            )
+        # Byzantine fragments may lie about the blob length; try candidate
+        # lengths from the most to the least frequently claimed one.
+        length_votes: Dict[int, int] = {}
+        for fragment in by_index.values():
+            length_votes[fragment.blob_length] = length_votes.get(fragment.blob_length, 0) + 1
+        candidates = sorted(length_votes, key=lambda length: (-length_votes[length], length))
+        last_error: Optional[DecodingError] = None
+        for blob_length in candidates:
+            chunk_count = self._chunk_count(blob_length)
+            usable = {
+                index: fragment
+                for index, fragment in by_index.items()
+                if len(fragment.symbols) == chunk_count
+            }
+            if len(usable) < self.data_symbols:
+                last_error = DecodingError("not enough fragments with a consistent shape")
+                continue
+            try:
+                data = bytearray()
+                for chunk_index in range(chunk_count):
+                    points = [
+                        (self.evaluation_points[index], fragment.symbols[chunk_index])
+                        for index, fragment in sorted(usable.items())
+                    ]
+                    coefficients = self._berlekamp_welch(points)
+                    data.extend(coefficients)
+                return bytes(data[:blob_length])
+            except DecodingError as error:
+                last_error = error
+        raise last_error if last_error is not None else DecodingError("no decodable fragment shape")
+
+    # ------------------------------------------------------------------
+    def _chunk_count(self, blob_length: int) -> int:
+        return max(1, -(-blob_length // self.data_symbols))
+
+    def _chunk(self, blob: bytes) -> List[List[int]]:
+        padded_length = self._chunk_count(len(blob)) * self.data_symbols
+        padded = blob + bytes(padded_length - len(blob))
+        return [
+            list(padded[start : start + self.data_symbols])
+            for start in range(0, padded_length, self.data_symbols)
+        ]
+
+    def _berlekamp_welch(self, points: Sequence[Tuple[int, int]]) -> List[int]:
+        """Recover the data polynomial from ``(x, y)`` points with errors."""
+        received = len(points)
+        k = self.data_symbols
+        for errors in range(self.max_correctable_errors(received), -1, -1):
+            q_terms = errors + k
+            matrix: List[List[int]] = []
+            rhs: List[int] = []
+            for x, y in points:
+                row = [gf256.power(x, j) if x != 0 or j == 0 else 0 for j in range(q_terms)]
+                row += [
+                    gf256.multiply(y, gf256.power(x, j)) if x != 0 or j == 0 else (y if j == 0 else 0)
+                    for j in range(errors)
+                ]
+                matrix.append(row)
+                rhs.append(gf256.multiply(y, gf256.power(x, errors)) if x != 0 or errors == 0 else 0)
+            solution = _solve_linear_system(matrix, rhs)
+            if solution is None:
+                continue
+            q_coefficients = solution[:q_terms]
+            e_coefficients = solution[q_terms:] + [1]  # monic error locator
+            quotient, remainder = gf256.poly_divmod(q_coefficients, e_coefficients)
+            if any(value != 0 for value in remainder):
+                continue
+            candidate = (quotient + [0] * k)[:k]
+            mismatches = sum(
+                1 for x, y in points if gf256.poly_eval(candidate, x) != y
+            )
+            if mismatches <= errors:
+                return candidate
+        raise DecodingError("Berlekamp-Welch decoding failed: too many corrupted fragments")

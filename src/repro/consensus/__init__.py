@@ -1,0 +1,35 @@
+"""Consensus protocols: Quad, binary consensus, vector consensus (Algorithms 1, 3, 6) and Universal."""
+
+from .binary import BinaryConsensus
+from .interfaces import ConsensusModule
+from .quad import PrepareCertificate, Quad
+from .universal_protocol import Universal, UniversalProcess, resolve_backend, universal_process_factory
+from .vector_authenticated import (
+    AuthenticatedVectorConsensus,
+    SignedProposal,
+    VectorConsensusProof,
+    make_vector_verify,
+)
+from .vector_compact import CompactVectorConsensus, deserialise_vector, serialise_vector
+from .vector_dissemination import VectorDissemination
+from .vector_non_authenticated import NonAuthenticatedVectorConsensus
+
+__all__ = [
+    "ConsensusModule",
+    "Quad",
+    "PrepareCertificate",
+    "BinaryConsensus",
+    "AuthenticatedVectorConsensus",
+    "NonAuthenticatedVectorConsensus",
+    "CompactVectorConsensus",
+    "VectorDissemination",
+    "serialise_vector",
+    "deserialise_vector",
+    "SignedProposal",
+    "VectorConsensusProof",
+    "make_vector_verify",
+    "Universal",
+    "UniversalProcess",
+    "universal_process_factory",
+    "resolve_backend",
+]

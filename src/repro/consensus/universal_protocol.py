@@ -1,0 +1,136 @@
+"""Universal (Algorithm 2): consensus with any solvable, non-trivial validity property.
+
+Universal composes a vector-consensus building block with the ``Lambda``
+function of the target validity property:
+
+* ``propose(v)`` forwards the proposal to vector consensus (line 4);
+* when vector consensus decides an input configuration ``vector`` of
+  ``n - t`` process-proposal pairs, the process decides ``Lambda(vector)``
+  (line 6).
+
+The module is independent of the concrete vector-consensus implementation
+(exactly as in the paper): plugging in the authenticated Algorithm 1 gives
+``O(n^2)`` message complexity, the non-authenticated Algorithm 3 gives a
+signature-free variant, and the Algorithm 6 backend gives
+``O(n^2 log n)`` communication complexity.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from ..core.universal import UniversalSpec
+from ..sim.process import Process, ProtocolModule
+from .interfaces import ConsensusModule, DecisionCallback
+
+BackendFactory = Callable[..., ConsensusModule]
+
+
+BACKEND_NAMES = ("authenticated", "non-authenticated", "compact")
+
+
+def resolve_backend(name: str) -> BackendFactory:
+    """Resolve a vector-consensus backend by name (imported lazily).
+
+    * ``authenticated`` — Algorithm 1 (PKI + Quad, ``O(n^2)`` messages).
+    * ``non-authenticated`` — Algorithm 3 (Bracha broadcast + binary
+      consensus, signature-free, ``O(n^4)`` messages).
+    * ``compact`` — Algorithm 6 (vector dissemination + Quad on hashes + ADD,
+      ``O(n^2 log n)`` communication).
+    """
+    if name == "authenticated":
+        from .vector_authenticated import AuthenticatedVectorConsensus
+
+        return AuthenticatedVectorConsensus
+    if name == "non-authenticated":
+        from .vector_non_authenticated import NonAuthenticatedVectorConsensus
+
+        return NonAuthenticatedVectorConsensus
+    if name == "compact":
+        from .vector_compact import CompactVectorConsensus
+
+        return CompactVectorConsensus
+    raise ValueError(f"unknown vector-consensus backend {name!r}; available: {sorted(BACKEND_NAMES)}")
+
+
+class Universal(ConsensusModule):
+    """The Universal consensus module (Algorithm 2)."""
+
+    def __init__(
+        self,
+        process: Process,
+        spec: UniversalSpec,
+        backend: str = "authenticated",
+        name: str = "universal",
+        parent: Optional[ProtocolModule] = None,
+        on_decide: Optional[DecisionCallback] = None,
+    ):
+        super().__init__(process, name, parent, on_decide)
+        self.spec = spec
+        self.backend_name = backend
+        self.vector_consensus = resolve_backend(backend)(
+            process,
+            name="vec_cons",
+            parent=self,
+            on_decide=self._on_vector_decision,
+        )
+        self.decided_vector = None
+
+    def _handle_proposal(self, value: Any) -> None:
+        self.vector_consensus.propose(value)
+
+    def _on_vector_decision(self, vector: Any) -> None:
+        self.decided_vector = vector
+        self._decide(self.spec.decide(vector))
+
+
+class UniversalProcess(Process):
+    """A process running Universal for one consensus variant.
+
+    Args:
+        pid: Process index.
+        simulation: The owning simulation.
+        spec: The consensus variant (validity property plus ``Lambda``).
+        proposal: The value this process proposes.
+        backend: Vector-consensus backend name.
+    """
+
+    def __init__(
+        self,
+        pid: int,
+        simulation,
+        spec: UniversalSpec,
+        proposal: Any,
+        backend: str = "authenticated",
+    ):
+        super().__init__(pid, simulation)
+        self.spec = spec
+        self.proposal = proposal
+        self.backend = backend
+        self.universal: Optional[Universal] = None
+
+    def on_start(self) -> None:
+        self.universal = Universal(
+            self,
+            spec=self.spec,
+            backend=self.backend,
+            on_decide=self.decide,
+        )
+        self.universal.propose(self.proposal)
+
+
+def universal_process_factory(
+    spec: UniversalSpec, proposals: Dict[int, Any], backend: str = "authenticated"
+) -> Callable[[int, Any], UniversalProcess]:
+    """Factory for :meth:`repro.sim.Simulation.populate`.
+
+    Args:
+        spec: The consensus variant to solve.
+        proposals: Mapping from process index to its proposal.
+        backend: Vector-consensus backend name.
+    """
+
+    def build(pid: int, simulation) -> UniversalProcess:
+        return UniversalProcess(pid, simulation, spec=spec, proposal=proposals[pid], backend=backend)
+
+    return build

@@ -1,0 +1,29 @@
+"""Extended formalism (Appendix C): discovery functions, adversary pools, External Validity."""
+
+from .discovery import (
+    DiscoveryModel,
+    ExtendedInputConfiguration,
+    ExtendedValidityProperty,
+)
+from .external import (
+    Batch,
+    ClientWallet,
+    SignedTransaction,
+    TransactionVerifier,
+    batch_decision_rule,
+    batch_discovery,
+    external_validity_property,
+)
+
+__all__ = [
+    "DiscoveryModel",
+    "ExtendedInputConfiguration",
+    "ExtendedValidityProperty",
+    "ClientWallet",
+    "SignedTransaction",
+    "TransactionVerifier",
+    "Batch",
+    "batch_discovery",
+    "batch_decision_rule",
+    "external_validity_property",
+]

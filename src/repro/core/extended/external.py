@@ -1,0 +1,181 @@
+"""External Validity for a committee-based blockchain (the Appendix C motivating example).
+
+The example of Appendix C.1: *clients* issue signed transactions, *servers*
+run Byzantine consensus to order them.  Servers cannot forge client
+signatures, so the input space (signed transactions) and the output space
+(batches of signed transactions) are only discoverable from what the servers
+actually receive.  External Validity requires every decided batch to satisfy
+a predicate — here: every transaction in the batch carries a valid client
+signature and no client double-spends within the batch.
+
+This module provides a small, self-contained model of that setting
+(clients, signed transactions, batches, the discovery function that
+concatenates known transactions) used by the blockchain example and the E9
+benchmark.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import itertools
+from dataclasses import dataclass
+from typing import AbstractSet, FrozenSet, Iterable, Tuple
+
+from ...crypto.hashing import stable_encode
+from .discovery import DiscoveryModel, ExtendedValidityProperty
+
+
+@dataclass(frozen=True)
+class SignedTransaction:
+    """A client-signed transfer."""
+
+    client: str
+    sequence_number: int
+    payload: str
+    signature: str
+
+    def stable_fields(self) -> tuple:
+        return (self.client, self.sequence_number, self.payload, self.signature)
+
+    @property
+    def words(self) -> int:
+        return 2
+
+
+Batch = Tuple[SignedTransaction, ...]
+
+
+class ClientWallet:
+    """A blockchain client able to issue signed transactions."""
+
+    def __init__(self, name: str, secret_seed: str = "wallet"):
+        self.name = name
+        self._secret = hashlib.sha256(f"{secret_seed}:{name}".encode()).digest()
+
+    def issue(self, sequence_number: int, payload: str) -> SignedTransaction:
+        body = (self.name, sequence_number, payload)
+        signature = hmac.new(self._secret, stable_encode(body), hashlib.sha256).hexdigest()
+        return SignedTransaction(self.name, sequence_number, payload, signature)
+
+
+class TransactionVerifier:
+    """Verifies client signatures (the servers' view of the clients' PKI)."""
+
+    def __init__(self, secret_seed: str = "wallet"):
+        self._secret_seed = secret_seed
+
+    def transaction_is_valid(self, transaction: object) -> bool:
+        if not isinstance(transaction, SignedTransaction):
+            return False
+        secret = hashlib.sha256(f"{self._secret_seed}:{transaction.client}".encode()).digest()
+        body = (transaction.client, transaction.sequence_number, transaction.payload)
+        expected = hmac.new(secret, stable_encode(body), hashlib.sha256).hexdigest()
+        return hmac.compare_digest(expected, transaction.signature)
+
+    def batch_is_valid(self, batch: object) -> bool:
+        """External Validity predicate: all signatures valid, no intra-batch double spend."""
+        if not isinstance(batch, tuple):
+            return False
+        seen = set()
+        for transaction in batch:
+            if not self.transaction_is_valid(transaction):
+                return False
+            key = (transaction.client, transaction.sequence_number)
+            if key in seen:
+                return False
+            seen.add(key)
+        return True
+
+
+def batch_discovery(observed: AbstractSet[object], max_batch_size: int = 3) -> FrozenSet[Batch]:
+    """The discovery function: batches assembled from observed transactions.
+
+    Observing transactions ``tx1`` and ``tx2`` lets a server learn the batches
+    ``()``, ``(tx1,)``, ``(tx2,)``, ``(tx1, tx2)`` and ``(tx2, tx1)`` —
+    concatenations of what it has seen, as in the paper's example.  Observed
+    values may be individual transactions or containers of transactions
+    (server proposals are tuples of the transactions they received).
+    """
+    flattened = []
+    for item in observed:
+        if isinstance(item, SignedTransaction):
+            flattened.append(item)
+        elif isinstance(item, (tuple, list, set, frozenset)):
+            flattened.extend(tx for tx in item if isinstance(tx, SignedTransaction))
+    transactions = list(dict.fromkeys(flattened))
+    discovered = {()}
+    for size in range(1, min(max_batch_size, len(transactions)) + 1):
+        for combination in itertools.permutations(transactions, size):
+            discovered.add(tuple(combination))
+    return frozenset(discovered)
+
+
+def external_validity_property(
+    verifier: TransactionVerifier, max_batch_size: int = 3
+) -> ExtendedValidityProperty:
+    """Build the External Validity property for the committee blockchain.
+
+    A batch is admissible iff it satisfies the external predicate *and* is
+    discoverable from the inputs present in the execution (the extended
+    formalism's Assumption 1 folded into admissibility).
+    """
+    def input_is_valid(value: object) -> bool:
+        if isinstance(value, SignedTransaction):
+            return verifier.transaction_is_valid(value)
+        if isinstance(value, (tuple, list, set, frozenset)):
+            return all(verifier.transaction_is_valid(tx) for tx in value)
+        return False
+
+    discovery = DiscoveryModel(
+        valid_input=input_is_valid,
+        valid_output=verifier.batch_is_valid,
+        discover=lambda observed: batch_discovery(observed, max_batch_size),
+    )
+
+    def admissible(extended, batch) -> bool:
+        if not verifier.batch_is_valid(batch):
+            return False
+        return batch in discovery.discover(extended.known_inputs())
+
+    return ExtendedValidityProperty(
+        name="external-validity(committee-blockchain)",
+        admissible=admissible,
+        discovery=discovery,
+    )
+
+
+def batch_decision_rule(verifier: TransactionVerifier, max_batch_size: int = 3):
+    """A ``Lambda``-style decision rule for the blockchain consensus variant.
+
+    Given a decided vector of proposals (each proposal being a tuple of signed
+    transactions the proposing server has observed), the rule assembles the
+    lexicographically-first valid batch out of the union of valid
+    transactions — a deterministic choice every correct server computes
+    identically, and which is always discoverable from the correct proposals.
+    """
+
+    def decide(vector) -> Batch:
+        transactions = set()
+        for pair in vector.pairs:
+            proposal = pair.proposal
+            if isinstance(proposal, Iterable):
+                for transaction in proposal:
+                    if verifier.transaction_is_valid(transaction):
+                        transactions.add(transaction)
+        ordered = sorted(
+            transactions, key=lambda tx: (tx.client, tx.sequence_number, tx.payload, tx.signature)
+        )
+        batch: list = []
+        seen = set()
+        for transaction in ordered:
+            key = (transaction.client, transaction.sequence_number)
+            if key in seen:
+                continue
+            seen.add(key)
+            batch.append(transaction)
+            if len(batch) == max_batch_size:
+                break
+        return tuple(batch)
+
+    return decide

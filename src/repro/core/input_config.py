@@ -1,0 +1,284 @@
+"""Input configurations: assignments of proposals to correct processes.
+
+Section 3.3 of the paper defines a *process-proposal pair* ``(P, v)`` and an
+*input configuration* as a tuple of ``x`` process-proposal pairs with
+``n - t <= x <= n``, every pair naming a distinct process.  An input
+configuration describes one execution's assignment of proposals to the
+processes that are correct in that execution.
+
+This module implements both notions as immutable value objects, together
+with the enumeration of the full set ``I`` of input configurations (and its
+slices ``I_x``) over a finite proposal domain, which the decision procedures
+in :mod:`repro.core.triviality` and
+:mod:`repro.core.similarity_condition` rely on.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, Iterable, Iterator, Mapping, Optional, Sequence, Tuple
+
+from .ordering import canonical_sorted
+from .system import SystemConfig
+
+Value = Any
+
+
+@dataclass(frozen=True, order=False)
+class ProcessProposal:
+    """A process-proposal pair ``(P, v)``.
+
+    Attributes:
+        process: Index of the process (``0 <= process < n``).
+        proposal: The value proposed by that process.
+    """
+
+    process: int
+    proposal: Value
+
+    def __post_init__(self) -> None:
+        if self.process < 0:
+            raise ValueError(f"process index must be non-negative, got {self.process}")
+
+
+class InputConfiguration:
+    """An immutable assignment of proposals to a set of (correct) processes.
+
+    The class is deliberately independent of a particular
+    :class:`~repro.core.system.SystemConfig`: protocols produce and consume
+    configurations of exactly ``n - t`` pairs (vector-consensus decisions),
+    while the formalism also manipulates configurations of every size between
+    ``n - t`` and ``n``.  Use :meth:`is_valid_for` to check the paper's size
+    constraint against a concrete system.
+    """
+
+    __slots__ = ("_assignment", "_pairs", "_processes")
+
+    def __init__(self, pairs: Iterable[ProcessProposal]):
+        assignment: Dict[int, Value] = {}
+        for pair in pairs:
+            if pair.process in assignment:
+                raise ValueError(f"duplicate process {pair.process} in input configuration")
+            assignment[pair.process] = pair.proposal
+        if not assignment:
+            raise ValueError("an input configuration must contain at least one process-proposal pair")
+        ordered = tuple(
+            ProcessProposal(process, assignment[process]) for process in sorted(assignment)
+        )
+        object.__setattr__(self, "_assignment", assignment)
+        object.__setattr__(self, "_pairs", ordered)
+        object.__setattr__(self, "_processes", frozenset(assignment))
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_mapping(cls, assignment: Mapping[int, Value]) -> "InputConfiguration":
+        """Build a configuration from a ``process -> proposal`` mapping."""
+        return cls(ProcessProposal(process, value) for process, value in assignment.items())
+
+    @classmethod
+    def unanimous(cls, processes: Iterable[int], value: Value) -> "InputConfiguration":
+        """Build a configuration in which every listed process proposes ``value``."""
+        return cls(ProcessProposal(process, value) for process in processes)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def pairs(self) -> Tuple[ProcessProposal, ...]:
+        """The process-proposal pairs, sorted by process index."""
+        return self._pairs
+
+    @property
+    def processes(self) -> FrozenSet[int]:
+        """The set ``pi(c)`` of processes included in the configuration."""
+        return self._processes
+
+    @property
+    def size(self) -> int:
+        """Number of process-proposal pairs (the paper's ``x``)."""
+        return len(self._pairs)
+
+    def proposal_of(self, process: int) -> Optional[Value]:
+        """Return the proposal of ``process``, or ``None`` if it is not included.
+
+        This mirrors the paper's ``c[i]`` notation (with ``None`` playing the
+        role of the paper's bottom symbol).
+        """
+        return self._assignment.get(process)
+
+    def __getitem__(self, process: int) -> Value:
+        try:
+            return self._assignment[process]
+        except KeyError:
+            raise KeyError(f"process {process} is not part of this input configuration") from None
+
+    def __contains__(self, process: int) -> bool:
+        return process in self._assignment
+
+    def __iter__(self) -> Iterator[ProcessProposal]:
+        return iter(self._pairs)
+
+    def __len__(self) -> int:
+        return len(self._pairs)
+
+    def proposals(self) -> Tuple[Value, ...]:
+        """All proposals, ordered by process index (duplicates preserved)."""
+        return tuple(pair.proposal for pair in self._pairs)
+
+    def distinct_proposals(self) -> FrozenSet[Value]:
+        """The set of distinct values proposed in this configuration."""
+        return frozenset(pair.proposal for pair in self._pairs)
+
+    def as_mapping(self) -> Dict[int, Value]:
+        """Return a fresh ``process -> proposal`` dictionary."""
+        return dict(self._assignment)
+
+    def multiplicity(self, value: Value) -> int:
+        """Number of processes proposing ``value`` in this configuration."""
+        return sum(1 for pair in self._pairs if pair.proposal == value)
+
+    def is_unanimous(self) -> bool:
+        """Return ``True`` iff all included processes propose the same value."""
+        return len(self.distinct_proposals()) == 1
+
+    def unanimous_value(self) -> Optional[Value]:
+        """Return the common proposal if the configuration is unanimous, else ``None``."""
+        distinct = self.distinct_proposals()
+        if len(distinct) == 1:
+            return next(iter(distinct))
+        return None
+
+    # ------------------------------------------------------------------
+    # Derived configurations
+    # ------------------------------------------------------------------
+    def restricted_to(self, processes: Iterable[int]) -> "InputConfiguration":
+        """Return the sub-configuration containing only the given processes."""
+        kept = {p: v for p, v in self._assignment.items() if p in set(processes)}
+        return InputConfiguration.from_mapping(kept)
+
+    def without(self, processes: Iterable[int]) -> "InputConfiguration":
+        """Return the configuration with the given processes removed."""
+        removed = set(processes)
+        kept = {p: v for p, v in self._assignment.items() if p not in removed}
+        return InputConfiguration.from_mapping(kept)
+
+    def extended_with(self, assignment: Mapping[int, Value]) -> "InputConfiguration":
+        """Return a configuration extended with additional process-proposal pairs.
+
+        Raises:
+            ValueError: if any added process is already present.
+        """
+        merged = dict(self._assignment)
+        for process, value in assignment.items():
+            if process in merged:
+                raise ValueError(f"process {process} already present in configuration")
+            merged[process] = value
+        return InputConfiguration.from_mapping(merged)
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def is_valid_for(self, system: SystemConfig) -> bool:
+        """Check the paper's constraints: size in ``[n - t, n]`` and indices in range."""
+        if not system.min_configuration_size <= self.size <= system.max_configuration_size:
+            return False
+        return all(0 <= process < system.n for process in self._processes)
+
+    def validate_for(self, system: SystemConfig) -> None:
+        """Raise :class:`ValueError` when :meth:`is_valid_for` fails."""
+        if not self.is_valid_for(system):
+            raise ValueError(
+                f"configuration with processes {sorted(self._processes)} is not a valid input "
+                f"configuration for n={system.n}, t={system.t}"
+            )
+
+    # ------------------------------------------------------------------
+    # Equality / hashing / repr
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, InputConfiguration):
+            return NotImplemented
+        return self._pairs == other._pairs
+
+    def __hash__(self) -> int:
+        return hash(self._pairs)
+
+    def __repr__(self) -> str:
+        body = ", ".join(f"(P{pair.process}, {pair.proposal!r})" for pair in self._pairs)
+        return f"InputConfiguration[{body}]"
+
+
+# ----------------------------------------------------------------------
+# Enumeration of the input-configuration space I (and slices I_x)
+# ----------------------------------------------------------------------
+def enumerate_input_configurations(
+    system: SystemConfig,
+    input_domain: Sequence[Value],
+    sizes: Optional[Iterable[int]] = None,
+) -> Iterator[InputConfiguration]:
+    """Enumerate the set ``I`` of input configurations over a finite domain.
+
+    Args:
+        system: The system parameters (``n``, ``t``).
+        input_domain: The finite proposal domain ``V_I`` to enumerate over.
+        sizes: Optional subset of sizes to enumerate; defaults to the paper's
+            full range ``n - t <= x <= n``.
+
+    Yields:
+        Every input configuration with the requested sizes, in a
+        deterministic order (process subsets in lexicographic order, values
+        in canonical order).
+    """
+    if not input_domain:
+        raise ValueError("input domain must be non-empty")
+    domain = canonical_sorted(set(input_domain))
+    requested_sizes = list(sizes) if sizes is not None else list(system.valid_configuration_sizes())
+    for size in requested_sizes:
+        if not system.min_configuration_size <= size <= system.max_configuration_size:
+            raise ValueError(
+                f"size {size} outside the valid range "
+                f"[{system.min_configuration_size}, {system.max_configuration_size}]"
+            )
+        for process_subset in itertools.combinations(range(system.n), size):
+            for values in itertools.product(domain, repeat=size):
+                yield InputConfiguration(
+                    ProcessProposal(process, value)
+                    for process, value in zip(process_subset, values)
+                )
+
+
+def enumerate_minimal_configurations(
+    system: SystemConfig, input_domain: Sequence[Value]
+) -> Iterator[InputConfiguration]:
+    """Enumerate ``I_{n-t}``, the configurations with exactly ``n - t`` pairs.
+
+    These are the configurations over which the ``Lambda`` function of the
+    similarity condition (Definition 2) is defined, and the decision space of
+    vector consensus.
+    """
+    yield from enumerate_input_configurations(
+        system, input_domain, sizes=[system.min_configuration_size]
+    )
+
+
+def enumerate_full_configurations(
+    system: SystemConfig, input_domain: Sequence[Value]
+) -> Iterator[InputConfiguration]:
+    """Enumerate ``I_n``, the configurations in which every process is correct."""
+    yield from enumerate_input_configurations(system, input_domain, sizes=[system.n])
+
+
+def count_input_configurations(system: SystemConfig, domain_size: int) -> int:
+    """Closed-form count of ``|I|`` for a domain of the given size.
+
+    Used by tests to check that enumeration is exhaustive and duplicate-free.
+    """
+    import math
+
+    total = 0
+    for size in system.valid_configuration_sizes():
+        total += math.comb(system.n, size) * domain_size**size
+    return total

@@ -1,0 +1,169 @@
+"""Solvability classification of validity properties (the paper's main characterization).
+
+The paper's necessary and sufficient conditions are:
+
+* ``n <= 3t`` (Theorems 1 and 2): a validity property is solvable iff it is
+  trivial (there is an always-admissible value, extractable by a finite
+  procedure).
+* ``n > 3t`` (Theorems 3 and 5): a validity property is solvable iff it
+  satisfies the similarity condition ``C_S``.
+
+This module combines the decision procedures of
+:mod:`repro.core.triviality` and :mod:`repro.core.similarity_condition`
+into a single classifier, which is what the Figure 1 experiment exercises.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterator, Optional, Sequence
+
+from .input_config import InputConfiguration, Value, enumerate_input_configurations
+from .similarity_condition import SimilarityConditionResult, check_similarity_condition
+from .system import SystemConfig
+from .triviality import TrivialityResult, check_triviality
+from .validity import TableValidity, ValidityProperty
+
+
+@dataclass(frozen=True)
+class Classification:
+    """The verdict of the solvability classifier for one validity property.
+
+    Attributes:
+        property_name: Name of the classified property.
+        system: The system parameters used.
+        trivial: Whether an always-admissible value exists.
+        satisfies_similarity_condition: Whether ``C_S`` holds.
+        solvable: The paper's characterization applied to the two facts above.
+        reason: Human-readable explanation citing the relevant theorem.
+        triviality: Full triviality result (with witness).
+        similarity: Full similarity-condition result (with ``Lambda`` table).
+    """
+
+    property_name: str
+    system: SystemConfig
+    trivial: bool
+    satisfies_similarity_condition: bool
+    solvable: bool
+    reason: str
+    triviality: TrivialityResult
+    similarity: SimilarityConditionResult
+
+
+def classify(
+    prop: ValidityProperty,
+    system: SystemConfig,
+    input_domain: Sequence[Value],
+    output_domain: Optional[Sequence[Value]] = None,
+) -> Classification:
+    """Classify a validity property as solvable or unsolvable.
+
+    The classification applies the paper's characterization exactly:
+
+    * if the property is trivial it is solvable regardless of ``n`` and ``t``
+      (decide the always-admissible value without communication);
+    * if ``n <= 3t`` and the property is non-trivial it is unsolvable
+      (Theorem 1);
+    * if ``n > 3t`` the property is solvable iff it satisfies ``C_S``
+      (Theorems 3 and 5).
+    """
+    triviality = check_triviality(prop, system, input_domain, output_domain)
+    similarity = check_similarity_condition(prop, system, input_domain, output_domain)
+
+    if triviality.trivial:
+        solvable = True
+        reason = (
+            "trivial: value "
+            f"{triviality.witness!r} is admissible for every input configuration, so every "
+            "process can decide it immediately (Theorem 2)"
+        )
+    elif not system.tolerates_byzantine_faults():
+        solvable = False
+        reason = (
+            f"n={system.n} <= 3t={3 * system.t} and the property is non-trivial, hence "
+            "unsolvable (Theorem 1)"
+        )
+    elif similarity.holds:
+        solvable = True
+        reason = (
+            "non-trivial, n > 3t, and the similarity condition holds, hence solvable by the "
+            "Universal algorithm (Theorem 5)"
+        )
+    else:
+        solvable = False
+        reason = (
+            "the similarity condition fails (no common admissible value for all configurations "
+            f"similar to {similarity.counterexample}), hence unsolvable (Theorem 3)"
+        )
+
+    return Classification(
+        property_name=prop.name,
+        system=system,
+        trivial=triviality.trivial,
+        satisfies_similarity_condition=similarity.holds,
+        solvable=solvable,
+        reason=reason,
+        triviality=triviality,
+        similarity=similarity,
+    )
+
+
+def is_solvable(
+    prop: ValidityProperty,
+    system: SystemConfig,
+    input_domain: Sequence[Value],
+    output_domain: Optional[Sequence[Value]] = None,
+) -> bool:
+    """Shorthand for ``classify(...).solvable``."""
+    return classify(prop, system, input_domain, output_domain).solvable
+
+
+# ----------------------------------------------------------------------
+# Exhaustive enumeration of validity properties (Figure 1 experiment)
+# ----------------------------------------------------------------------
+def enumerate_validity_properties(
+    system: SystemConfig,
+    input_domain: Sequence[Value],
+    output_domain: Sequence[Value],
+    max_properties: Optional[int] = None,
+) -> Iterator[TableValidity]:
+    """Enumerate *all* validity properties over tiny finite domains.
+
+    A validity property assigns to each of the ``|I|`` input configurations a
+    non-empty subset of ``V_O``, so there are ``(2^{|V_O|} - 1)^{|I|}``
+    properties — astronomically many even for the smallest systems.  The
+    enumeration is therefore only practical with an explicit
+    ``max_properties`` cut-off or for systems where ``|I|`` is tiny; the
+    Figure 1 experiment instead samples this space and additionally uses the
+    named properties.  The enumeration order is deterministic.
+
+    Args:
+        system: System parameters.
+        input_domain: Finite proposal domain.
+        output_domain: Finite decision domain.
+        max_properties: Optional bound on the number of properties yielded.
+    """
+    configurations = list(enumerate_input_configurations(system, input_domain))
+    non_empty_subsets = [
+        frozenset(subset)
+        for size in range(1, len(output_domain) + 1)
+        for subset in itertools.combinations(output_domain, size)
+    ]
+    produced = 0
+    for assignment in itertools.product(non_empty_subsets, repeat=len(configurations)):
+        if max_properties is not None and produced >= max_properties:
+            return
+        table = dict(zip(configurations, assignment))
+        produced += 1
+        yield TableValidity(
+            table, output_domain, name=f"enumerated-{produced}", default_all=False
+        )
+
+
+def count_validity_properties(system: SystemConfig, input_domain_size: int, output_domain_size: int) -> int:
+    """Closed-form count of all validity properties over finite domains."""
+    from .input_config import count_input_configurations
+
+    configurations = count_input_configurations(system, input_domain_size)
+    return (2**output_domain_size - 1) ** configurations

@@ -1,0 +1,123 @@
+"""Triviality of validity properties (Theorems 1 and 2).
+
+A validity property is *trivial* when some value is admissible for every
+input configuration; solving consensus with a trivial property is immediate
+(every process decides the always-admissible value without communicating).
+Theorem 1 of the paper shows that when ``n <= 3t`` *every* solvable validity
+property is trivial, and Theorem 2 strengthens this to the existence of a
+finite ``always_admissible`` procedure.
+
+This module provides the exact decision procedure over finite domains and
+the ``always_admissible`` witness extraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Optional, Sequence
+
+from .input_config import InputConfiguration, Value, enumerate_input_configurations
+from .ordering import canonical_sorted
+from .system import SystemConfig
+from .validity import ValidityProperty
+
+
+@dataclass(frozen=True)
+class TrivialityResult:
+    """Outcome of the triviality decision procedure.
+
+    Attributes:
+        trivial: ``True`` iff some output value is admissible for every
+            enumerated input configuration.
+        always_admissible: The set of always-admissible values (empty when
+            the property is non-trivial).
+        witness: A deterministic representative of ``always_admissible`` (the
+            value the paper's Theorem 2 ``always_admissible`` procedure would
+            return), or ``None``.
+        configurations_checked: Number of input configurations enumerated.
+    """
+
+    trivial: bool
+    always_admissible: FrozenSet[Value]
+    witness: Optional[Value]
+    configurations_checked: int
+
+    def always_admissible_procedure(self) -> Value:
+        """The finite procedure promised by Theorem 2 for trivial properties.
+
+        Returns:
+            The canonical always-admissible value.
+
+        Raises:
+            ValueError: if the property is non-trivial.
+        """
+        if not self.trivial or self.witness is None:
+            raise ValueError("the validity property is non-trivial: no always-admissible value exists")
+        return self.witness
+
+
+def always_admissible_values(
+    prop: ValidityProperty,
+    configurations: Iterable[InputConfiguration],
+    output_domain: Sequence[Value],
+) -> FrozenSet[Value]:
+    """Intersect ``val(c)`` over the given configurations.
+
+    Returns the set of values admissible for *every* configuration in the
+    iterable (over the finite output domain).
+    """
+    remaining = set(output_domain)
+    for config in configurations:
+        if not remaining:
+            break
+        remaining &= prop.admissible_values(config, output_domain)
+    return frozenset(remaining)
+
+
+def check_triviality(
+    prop: ValidityProperty,
+    system: SystemConfig,
+    input_domain: Sequence[Value],
+    output_domain: Optional[Sequence[Value]] = None,
+) -> TrivialityResult:
+    """Decide whether a validity property is trivial over finite domains.
+
+    Args:
+        prop: The validity property.
+        system: System parameters (``n``, ``t``); determines the enumerated
+            configuration sizes ``n - t .. n``.
+        input_domain: Finite proposal domain ``V_I``.
+        output_domain: Finite decision domain ``V_O``; defaults to the
+            property's own domain, or to ``input_domain`` when absent.
+
+    Returns:
+        A :class:`TrivialityResult` with the witness value when trivial.
+    """
+    domain = output_domain if output_domain is not None else prop.output_domain
+    if domain is None:
+        domain = input_domain
+    remaining = set(domain)
+    checked = 0
+    for config in enumerate_input_configurations(system, input_domain):
+        checked += 1
+        if not remaining:
+            continue
+        remaining &= prop.admissible_values(config, domain)
+    always = frozenset(remaining)
+    witness = canonical_sorted(always)[0] if always else None
+    return TrivialityResult(
+        trivial=bool(always),
+        always_admissible=always,
+        witness=witness,
+        configurations_checked=checked,
+    )
+
+
+def is_trivial(
+    prop: ValidityProperty,
+    system: SystemConfig,
+    input_domain: Sequence[Value],
+    output_domain: Optional[Sequence[Value]] = None,
+) -> bool:
+    """Shorthand for ``check_triviality(...).trivial``."""
+    return check_triviality(prop, system, input_domain, output_domain).trivial

@@ -1,0 +1,190 @@
+"""The validity-property formalism (Section 3.3 of the paper).
+
+A validity property is a function ``val : I -> 2^{V_O}`` mapping every input
+configuration to a non-empty set of admissible decisions.  An algorithm
+satisfies the property iff, in every execution, correct processes only
+decide values admissible for the execution's input configuration.
+
+This module provides the abstract interface (:class:`ValidityProperty`), a
+concrete table-backed implementation for exhaustively enumerated properties
+(:class:`TableValidity`), and a helper for restricting a property to a
+finite output domain so that set-valued questions (triviality, ``C_S``)
+become decidable.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Dict, FrozenSet, Iterable, Mapping, Optional, Sequence
+
+from .input_config import InputConfiguration, Value
+from .ordering import canonical_sorted
+
+
+class ValidityProperty(ABC):
+    """Abstract validity property ``val : I -> 2^{V_O}``.
+
+    Concrete subclasses implement :meth:`is_admissible`.  Subclasses that can
+    do better than filtering a finite output domain may also override
+    :meth:`admissible_values`.
+
+    Attributes:
+        name: Human-readable name used in reports and experiment output.
+        output_domain: Optional finite output domain ``V_O``.  When present,
+            :meth:`admissible_values` can be called without an explicit
+            domain argument and the property can be fed to the decision
+            procedures (triviality, similarity condition, classification).
+    """
+
+    name: str = "validity"
+    output_domain: Optional[Sequence[Value]] = None
+
+    @abstractmethod
+    def is_admissible(self, config: InputConfiguration, value: Value) -> bool:
+        """Return ``True`` iff ``value`` is admissible for ``config`` (``value in val(config)``)."""
+
+    def admissible_values(
+        self, config: InputConfiguration, output_domain: Optional[Sequence[Value]] = None
+    ) -> FrozenSet[Value]:
+        """Return ``val(config)`` restricted to a finite output domain.
+
+        Args:
+            config: The input configuration.
+            output_domain: Finite domain to intersect with; defaults to the
+                property's own :attr:`output_domain`.
+
+        Raises:
+            ValueError: if no finite output domain is available.
+        """
+        domain = output_domain if output_domain is not None else self.output_domain
+        if domain is None:
+            raise ValueError(
+                f"validity property {self.name!r} has no finite output domain; "
+                "pass output_domain explicitly"
+            )
+        return frozenset(value for value in domain if self.is_admissible(config, value))
+
+    def check_non_empty(
+        self,
+        configurations: Iterable[InputConfiguration],
+        output_domain: Optional[Sequence[Value]] = None,
+    ) -> Optional[InputConfiguration]:
+        """Verify the formalism's well-formedness requirement ``val(c) != {}``.
+
+        Returns the first configuration with an empty admissible set, or
+        ``None`` if every configuration has at least one admissible value.
+        """
+        for config in configurations:
+            if not self.admissible_values(config, output_domain):
+                return config
+        return None
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class TableValidity(ValidityProperty):
+    """A validity property given extensionally as a table ``config -> set of values``.
+
+    This is the representation produced when enumerating *all* validity
+    properties over a small system (the Figure 1 experiment) and when
+    restricting a symbolic property to a finite domain.
+    """
+
+    def __init__(
+        self,
+        table: Mapping[InputConfiguration, Iterable[Value]],
+        output_domain: Sequence[Value],
+        name: str = "table-validity",
+        default_all: bool = True,
+    ):
+        """Create a table-backed validity property.
+
+        Args:
+            table: Mapping from input configurations to admissible values.
+            output_domain: The finite output domain ``V_O``.
+            name: Display name.
+            default_all: When ``True`` (default), configurations missing from
+                the table admit every output value; when ``False``, a lookup
+                of a missing configuration raises ``KeyError``.
+        """
+        self._table: Dict[InputConfiguration, FrozenSet[Value]] = {
+            config: frozenset(values) for config, values in table.items()
+        }
+        for config, values in self._table.items():
+            if not values:
+                raise ValueError(f"validity property must be non-empty for every configuration; empty for {config}")
+        self.output_domain = tuple(canonical_sorted(set(output_domain)))
+        self.name = name
+        self._default_all = default_all
+
+    def is_admissible(self, config: InputConfiguration, value: Value) -> bool:
+        if config in self._table:
+            return value in self._table[config]
+        if self._default_all:
+            return value in set(self.output_domain)
+        raise KeyError(f"configuration {config} not covered by table validity {self.name!r}")
+
+    def admissible_values(
+        self, config: InputConfiguration, output_domain: Optional[Sequence[Value]] = None
+    ) -> FrozenSet[Value]:
+        domain = frozenset(output_domain if output_domain is not None else self.output_domain)
+        if config in self._table:
+            return self._table[config] & domain
+        if self._default_all:
+            return domain
+        raise KeyError(f"configuration {config} not covered by table validity {self.name!r}")
+
+    @property
+    def table(self) -> Dict[InputConfiguration, FrozenSet[Value]]:
+        """A copy of the underlying admissibility table."""
+        return dict(self._table)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TableValidity):
+            return NotImplemented
+        return self._table == other._table and set(self.output_domain) == set(other.output_domain)
+
+    def __hash__(self) -> int:
+        return hash((frozenset(self._table.items()), frozenset(self.output_domain)))
+
+
+def restrict_to_domain(
+    prop: ValidityProperty,
+    configurations: Iterable[InputConfiguration],
+    output_domain: Sequence[Value],
+    name: Optional[str] = None,
+) -> TableValidity:
+    """Materialise a symbolic validity property as a :class:`TableValidity`.
+
+    Useful for running the exact decision procedures on the named properties
+    of :mod:`repro.core.properties` over small, finite systems.
+    """
+    table = {
+        config: prop.admissible_values(config, output_domain) for config in configurations
+    }
+    return TableValidity(
+        table,
+        output_domain,
+        name=name or f"{prop.name}@finite",
+        default_all=False,
+    )
+
+
+def algorithm_satisfies_validity(
+    prop: ValidityProperty,
+    config: InputConfiguration,
+    decisions: Mapping[int, Value],
+) -> bool:
+    """Check the satisfaction condition of Section 3.3 for one execution.
+
+    Args:
+        prop: The validity property under test.
+        config: The input configuration the execution corresponds to.
+        decisions: Mapping from correct-process index to the value it decided
+            (processes that have not decided are simply absent).
+
+    Returns:
+        ``True`` iff every decided value is admissible for ``config``.
+    """
+    return all(prop.is_admissible(config, value) for value in decisions.values())

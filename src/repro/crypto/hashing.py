@@ -1,0 +1,66 @@
+"""Collision-resistant hashing of protocol values.
+
+The paper's Appendix B.3 uses a collision-resistant hash function ``hash(.)``
+over disseminated vectors.  This module provides a deterministic, canonical
+serialisation of the Python values used by the protocols (so that equal
+values always hash identically, across processes and across runs) and a
+SHA-256 digest on top of it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any
+
+
+def stable_encode(value: Any) -> bytes:
+    """Serialise a protocol value into a canonical byte string.
+
+    Supports the primitives and containers that protocol messages are built
+    from.  Dictionaries and sets are serialised in sorted-key order so that
+    logically equal values encode identically.  Objects exposing a
+    ``stable_fields()`` method (used by the library's message and
+    configuration classes) are encoded from those fields.
+    """
+    if value is None:
+        return b"N"
+    if isinstance(value, bool):
+        return b"B1" if value else b"B0"
+    if isinstance(value, int):
+        return b"I" + str(value).encode()
+    if isinstance(value, float):
+        return b"F" + repr(value).encode()
+    if isinstance(value, str):
+        encoded = value.encode()
+        return b"S" + str(len(encoded)).encode() + b":" + encoded
+    if isinstance(value, bytes):
+        return b"Y" + str(len(value)).encode() + b":" + value
+    if isinstance(value, (list, tuple)):
+        inner = b"".join(stable_encode(item) for item in value)
+        return b"L" + str(len(value)).encode() + b":" + inner
+    if isinstance(value, (set, frozenset)):
+        encoded_items = sorted(stable_encode(item) for item in value)
+        return b"E" + str(len(encoded_items)).encode() + b":" + b"".join(encoded_items)
+    if isinstance(value, dict):
+        encoded_items = sorted(
+            stable_encode(key) + b"=" + stable_encode(item) for key, item in value.items()
+        )
+        return b"D" + str(len(encoded_items)).encode() + b":" + b"".join(encoded_items)
+    stable_fields = getattr(value, "stable_fields", None)
+    if callable(stable_fields):
+        return b"O" + type(value).__name__.encode() + b":" + stable_encode(stable_fields())
+    pairs = getattr(value, "pairs", None)
+    if pairs is not None:
+        # InputConfiguration and similar pair-carrying containers.
+        return b"C" + stable_encode([(pair.process, pair.proposal) for pair in pairs])
+    return b"R" + repr(value).encode()
+
+
+def digest(value: Any) -> str:
+    """Return a hex SHA-256 digest of a protocol value."""
+    return hashlib.sha256(stable_encode(value)).hexdigest()
+
+
+def short_digest(value: Any, length: int = 16) -> str:
+    """A truncated digest, convenient for logs and test assertions."""
+    return digest(value)[:length]

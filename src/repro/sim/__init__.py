@@ -1,0 +1,39 @@
+"""Partially synchronous discrete-event simulator: the execution substrate."""
+
+from .adversary import (
+    CrashProcess,
+    EquivocatingProposer,
+    MessageDroppingProcess,
+    SilentProcess,
+    crash_factory,
+    dropping_factory,
+    silent_factory,
+)
+from .events import Envelope, Event, MessageDelivery, TimerExpiry
+from .metrics import MetricsCollector, word_size
+from .network import DelayModel, PartitionDelayModel, SynchronousDelayModel
+from .process import Process, ProtocolModule
+from .simulation import Simulation, SimulationError
+
+__all__ = [
+    "Simulation",
+    "SimulationError",
+    "Process",
+    "ProtocolModule",
+    "Envelope",
+    "Event",
+    "MessageDelivery",
+    "TimerExpiry",
+    "DelayModel",
+    "SynchronousDelayModel",
+    "PartitionDelayModel",
+    "MetricsCollector",
+    "word_size",
+    "SilentProcess",
+    "CrashProcess",
+    "MessageDroppingProcess",
+    "EquivocatingProposer",
+    "silent_factory",
+    "crash_factory",
+    "dropping_factory",
+]

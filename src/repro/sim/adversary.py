@@ -1,0 +1,205 @@
+"""Byzantine behaviours and fault-injection helpers.
+
+The paper's model allows up to ``t`` processes to behave arbitrarily.  This
+module collects the behaviours used by the tests and experiments:
+
+* :class:`SilentProcess` — crashed from the very beginning (takes no step);
+  this is the behaviour of faulty processes in the paper's *canonical*
+  executions.
+* :class:`CrashProcess` — behaves correctly until a configurable time, then
+  stops (crash failure).
+* :class:`EquivocatingProposer` — sends different (properly signed by itself)
+  proposals to different processes in the vector-consensus proposal phase,
+  the textbook equivocation attack against the dissemination layer.
+* :class:`MessageDroppingProcess` — wraps a correct implementation but drops
+  a configurable fraction of its outgoing messages (used for robustness and
+  failure-injection tests).
+
+All behaviours only use their own signing key: the simulated PKI's
+unforgeability assumption is never violated.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Dict, Optional
+
+from .events import Envelope, MessageDelivery
+from .process import Process
+from .simulation import Simulation
+
+
+class SilentProcess(Process):
+    """A faulty process that never takes any computational step."""
+
+    def on_start(self) -> None:  # pragma: no cover - intentionally empty
+        pass
+
+    def on_unrouted_message(self, delivery: MessageDelivery) -> None:  # pragma: no cover
+        pass
+
+
+class CrashProcess(Process):
+    """Behaves like a wrapped correct process until ``crash_time``, then goes silent."""
+
+    def __init__(self, pid: int, simulation: Simulation, inner_factory: Callable[[int, Simulation], Process], crash_time: float):
+        super().__init__(pid, simulation)
+        self.crash_time = crash_time
+        self._crashed = False
+        self._inner = inner_factory(pid, _ForwardingShim(self, simulation))
+
+    def on_start(self) -> None:
+        if self.now >= self.crash_time:
+            self._crashed = True
+            return
+        self._inner.on_start()
+
+    def deliver_message(self, delivery: MessageDelivery) -> None:
+        if self._check_crashed():
+            return
+        self._inner.deliver_message(delivery)
+
+    def deliver_timer(self, expiry) -> None:
+        if self._check_crashed():
+            return
+        self._inner.deliver_timer(expiry)
+
+    def _check_crashed(self) -> bool:
+        if not self._crashed and self.now >= self.crash_time:
+            self._crashed = True
+        return self._crashed
+
+
+class _ForwardingShim:
+    """Presents a :class:`Simulation`-like facade to a wrapped inner process.
+
+    Outgoing traffic from the inner process is attributed to the outer
+    (faulty) process and suppressed once it has crashed.
+    """
+
+    def __init__(self, outer: Process, simulation: Simulation):
+        self._outer = outer
+        self._simulation = simulation
+        self.system = simulation.system
+        self.authority = simulation.authority
+        self.delay_model = simulation.delay_model
+
+    @property
+    def time(self) -> float:
+        return self._simulation.time
+
+    def is_correct(self, pid: int) -> bool:
+        return self._simulation.is_correct(pid)
+
+    def transmit(self, sender: int, receiver: int, envelope: Envelope) -> None:
+        if isinstance(self._outer, CrashProcess) and self._outer._check_crashed():
+            return
+        self._simulation.transmit(self._outer.pid, receiver, envelope)
+
+    def schedule_timer(self, pid: int, delay: float, path, tag) -> None:
+        self._simulation.schedule_timer(self._outer.pid, delay, path, tag)
+
+    def record_decision(self, pid: int, value: Any) -> None:
+        # Decisions of faulty processes are not part of the correctness metrics.
+        pass
+
+
+class MessageDroppingProcess(Process):
+    """Wraps a correct implementation but silently drops some outgoing messages."""
+
+    def __init__(
+        self,
+        pid: int,
+        simulation: Simulation,
+        inner_factory: Callable[[int, Simulation], Process],
+        drop_probability: float = 0.5,
+        seed: int = 0,
+    ):
+        super().__init__(pid, simulation)
+        if not 0.0 <= drop_probability <= 1.0:
+            raise ValueError("drop_probability must be in [0, 1]")
+        self.drop_probability = drop_probability
+        self._rng = random.Random(seed * 1_000_003 + pid)
+        shim = _DroppingShim(self, simulation, self.drop_probability, self._rng)
+        self._inner = inner_factory(pid, shim)
+
+    def on_start(self) -> None:
+        self._inner.on_start()
+
+    def deliver_message(self, delivery: MessageDelivery) -> None:
+        self._inner.deliver_message(delivery)
+
+    def deliver_timer(self, expiry) -> None:
+        self._inner.deliver_timer(expiry)
+
+
+class _DroppingShim(_ForwardingShim):
+    def __init__(self, outer: Process, simulation: Simulation, drop_probability: float, rng: random.Random):
+        super().__init__(outer, simulation)
+        self._drop_probability = drop_probability
+        self._rng = rng
+
+    def transmit(self, sender: int, receiver: int, envelope: Envelope) -> None:
+        if self._rng.random() < self._drop_probability:
+            return
+        self._simulation.transmit(self._outer.pid, receiver, envelope)
+
+
+class EquivocatingProposer(Process):
+    """Byzantine proposer that equivocates in the proposal/dissemination phase.
+
+    It sends a different, properly self-signed proposal to every other
+    process under a configurable module path (by default the proposal phase
+    of the authenticated vector consensus).  It then stays silent, which
+    stresses the protocol's handling of inconsistent Byzantine input without
+    ever forging another process's signature.
+    """
+
+    def __init__(
+        self,
+        pid: int,
+        simulation: Simulation,
+        target_path: tuple,
+        value_for_receiver: Optional[Callable[[int], Any]] = None,
+        message_builder: Optional[Callable[["EquivocatingProposer", int, Any], Any]] = None,
+    ):
+        super().__init__(pid, simulation)
+        self.target_path = tuple(target_path)
+        self.value_for_receiver = value_for_receiver or (lambda receiver: ("equivocation", receiver))
+        self.message_builder = message_builder
+
+    def on_start(self) -> None:
+        for receiver in range(self.n):
+            value = self.value_for_receiver(receiver)
+            if self.message_builder is not None:
+                payload = self.message_builder(self, receiver, value)
+            else:
+                payload = value
+            self.send_raw(receiver, Envelope(self.target_path, payload))
+
+
+def silent_factory(pid: int, simulation: Simulation) -> Process:
+    """Factory for silent faulty processes (canonical-execution adversary)."""
+    return SilentProcess(pid, simulation)
+
+
+def crash_factory(
+    inner_factory: Callable[[int, Simulation], Process], crash_time: float
+) -> Callable[[int, Simulation], Process]:
+    """Factory building processes that crash at ``crash_time``."""
+
+    def build(pid: int, simulation: Simulation) -> Process:
+        return CrashProcess(pid, simulation, inner_factory, crash_time)
+
+    return build
+
+
+def dropping_factory(
+    inner_factory: Callable[[int, Simulation], Process], drop_probability: float, seed: int = 0
+) -> Callable[[int, Simulation], Process]:
+    """Factory building processes that drop a fraction of their outgoing messages."""
+
+    def build(pid: int, simulation: Simulation) -> Process:
+        return MessageDroppingProcess(pid, simulation, inner_factory, drop_probability, seed)
+
+    return build

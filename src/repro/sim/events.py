@@ -1,0 +1,61 @@
+"""Event types for the discrete-event simulator.
+
+The simulator processes two kinds of events: message deliveries and local
+timer expirations.  Events are totally ordered by ``(time, sequence)`` where
+the sequence number breaks ties deterministically, so a simulation run is a
+pure function of its inputs (processes, delay model, seed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Tuple
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """A routed protocol message.
+
+    Protocol modules are organised in a tree inside each process (for example
+    Universal -> vector consensus -> Quad -> best-effort broadcast).  The
+    ``path`` identifies the destination module within the receiving process;
+    the ``payload`` is the module-level message.
+    """
+
+    path: Tuple[str, ...]
+    payload: Any
+
+    def stable_fields(self) -> tuple:
+        return (self.path, self.payload)
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled simulator event."""
+
+    time: float
+    sequence: int
+    kind: str = field(compare=False)
+    target: int = field(compare=False)
+    data: Any = field(compare=False)
+
+    MESSAGE = "message"
+    TIMER = "timer"
+
+
+@dataclass(frozen=True)
+class MessageDelivery:
+    """Payload of a message-delivery event."""
+
+    sender: int
+    receiver: int
+    envelope: Envelope
+    send_time: float
+
+
+@dataclass(frozen=True)
+class TimerExpiry:
+    """Payload of a timer event."""
+
+    path: Tuple[str, ...]
+    tag: Any

@@ -1,0 +1,144 @@
+"""Partially synchronous network model (GST and delta) with adversarial scheduling.
+
+The paper uses the standard partially synchronous model of Dwork, Lynch and
+Stockmeyer: every execution has an unknown Global Stabilization Time (GST)
+and a known bound ``delta`` such that messages sent by correct processes are
+delivered within ``delta`` after GST (and messages sent before GST are
+delivered by ``GST + delta`` at the latest).  Before GST the adversary fully
+controls delays.
+
+:class:`DelayModel` implements that contract; subclasses and the
+``schedule_hook`` give the lower-bound and triviality experiments the
+fine-grained adversarial control the proofs rely on (delaying specific link
+groups until after a chosen time).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Optional
+
+ScheduleHook = Callable[[int, int, float, float], Optional[float]]
+"""Adversarial override: ``(sender, receiver, send_time, default_delivery) -> delivery or None``."""
+
+
+class DelayModel:
+    """Computes delivery times under partial synchrony.
+
+    Args:
+        gst: The Global Stabilization Time of the execution.
+        delta: The known post-GST delay bound.
+        min_delay: Minimum link latency (must be positive so that causality
+            is preserved and the event loop always makes progress).
+        seed: Seed for the deterministic pseudo-random pre-GST delays.
+        schedule_hook: Optional adversarial override consulted for every
+            message; it may return an explicit delivery time, which is then
+            clamped to the partial-synchrony contract for correct senders.
+    """
+
+    def __init__(
+        self,
+        gst: float = 0.0,
+        delta: float = 1.0,
+        min_delay: float = 0.1,
+        seed: int = 0,
+        schedule_hook: Optional[ScheduleHook] = None,
+    ):
+        if delta <= 0:
+            raise ValueError("delta must be positive")
+        if min_delay <= 0 or min_delay > delta:
+            raise ValueError("min_delay must satisfy 0 < min_delay <= delta")
+        if gst < 0:
+            raise ValueError("GST must be non-negative")
+        self.gst = gst
+        self.delta = delta
+        self.min_delay = min_delay
+        self.schedule_hook = schedule_hook
+        self._rng = random.Random(seed)
+
+    # ------------------------------------------------------------------
+    def latest_delivery(self, send_time: float) -> float:
+        """The latest time the partial-synchrony contract allows for delivery."""
+        return max(send_time, self.gst) + self.delta
+
+    def delivery_time(self, sender: int, receiver: int, send_time: float, sender_correct: bool) -> float:
+        """Return the delivery time for a message.
+
+        Messages from correct senders always respect the partial-synchrony
+        contract; messages from Byzantine senders may be delayed arbitrarily
+        by the hook (they carry no guarantee in the model), but default to
+        the same distribution.
+        """
+        earliest = send_time + self.min_delay
+        latest = self.latest_delivery(send_time)
+        default = self._default_delay(send_time, earliest, latest)
+        if self.schedule_hook is not None:
+            override = self.schedule_hook(sender, receiver, send_time, default)
+            if override is not None:
+                chosen = max(override, earliest)
+                if sender_correct:
+                    chosen = min(chosen, latest)
+                return chosen
+        return default
+
+    def _default_delay(self, send_time: float, earliest: float, latest: float) -> float:
+        if send_time >= self.gst:
+            return min(earliest + self._rng.random() * (self.delta - self.min_delay), latest)
+        return earliest + self._rng.random() * (latest - earliest)
+
+
+class SynchronousDelayModel(DelayModel):
+    """A network that is synchronous from the very beginning (GST = 0).
+
+    Used by the lower-bound experiment (the adversary of Theorem 4 operates
+    in a fully synchronous execution) and as the fast path for complexity
+    sweeps.
+    """
+
+    def __init__(self, delta: float = 1.0, min_delay: float = 0.1, seed: int = 0,
+                 schedule_hook: Optional[ScheduleHook] = None):
+        super().__init__(gst=0.0, delta=delta, min_delay=min_delay, seed=seed, schedule_hook=schedule_hook)
+
+
+class PartitionDelayModel(DelayModel):
+    """Delays all communication between two process groups until a release time.
+
+    This is the scheduling used by the classical partitioning argument
+    (Lemma 2 of the paper): groups ``A`` and ``C`` do not hear from each
+    other until after both sides have decided.  The release time is also used
+    as the GST unless an explicit one is given, so the partial-synchrony
+    contract is respected.
+    """
+
+    def __init__(
+        self,
+        group_a: set,
+        group_c: set,
+        release_time: float,
+        delta: float = 1.0,
+        min_delay: float = 0.1,
+        seed: int = 0,
+        gst: Optional[float] = None,
+    ):
+        self.group_a = frozenset(group_a)
+        self.group_c = frozenset(group_c)
+        if self.group_a & self.group_c:
+            raise ValueError("partitioned groups must be disjoint")
+        self.release_time = release_time
+        super().__init__(
+            gst=release_time if gst is None else gst,
+            delta=delta,
+            min_delay=min_delay,
+            seed=seed,
+        )
+
+    def delivery_time(self, sender: int, receiver: int, send_time: float, sender_correct: bool) -> float:
+        crosses = (sender in self.group_a and receiver in self.group_c) or (
+            sender in self.group_c and receiver in self.group_a
+        )
+        if crosses and send_time < self.release_time:
+            return self.release_time + self.min_delay + self._rng.random() * (self.delta - self.min_delay)
+        # Within a group (or involving the Byzantine processes) the adversary
+        # chooses prompt, synchronous-looking delays even before GST: this is
+        # exactly the scheduling freedom the partitioning argument exploits.
+        return send_time + self.min_delay + self._rng.random() * (self.delta - self.min_delay)

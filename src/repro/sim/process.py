@@ -1,0 +1,205 @@
+"""Processes and composable protocol modules.
+
+A :class:`Process` is one node of the simulated system.  Protocol logic is
+written as :class:`ProtocolModule` subclasses organised in a tree inside the
+process — for example Universal owns a vector-consensus module, which owns a
+Quad module, which owns a best-effort broadcast module.  Messages carry the
+destination module's path so that each module only ever sees its own
+messages, which keeps every protocol implementation self-contained and lets
+them be stacked exactly the way the paper's pseudocode stacks its building
+blocks ("Uses: ...").
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, Iterable, Optional, Tuple
+
+from .events import Envelope, MessageDelivery, TimerExpiry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.system import SystemConfig
+    from ..crypto.signatures import KeyAuthority
+    from .simulation import Simulation
+
+
+class Process:
+    """A simulated process hosting a tree of protocol modules.
+
+    Subclasses (or users composing modules directly) override :meth:`on_start`
+    to build their protocol stack and kick it off, and may override
+    :meth:`on_decide` to observe decisions.
+    """
+
+    def __init__(self, pid: int, simulation: "Simulation"):
+        simulation.system.validate_process(pid)
+        self.pid = pid
+        self.simulation = simulation
+        self.decision: Optional[Any] = None
+        self.decision_time: Optional[float] = None
+        self._modules: Dict[Tuple[str, ...], ProtocolModule] = {}
+
+    # ------------------------------------------------------------------
+    # Environment accessors
+    # ------------------------------------------------------------------
+    @property
+    def system(self) -> "SystemConfig":
+        return self.simulation.system
+
+    @property
+    def n(self) -> int:
+        return self.simulation.system.n
+
+    @property
+    def now(self) -> float:
+        return self.simulation.time
+
+    @property
+    def authority(self) -> "KeyAuthority":
+        return self.simulation.authority
+
+    @property
+    def is_correct(self) -> bool:
+        return self.simulation.is_correct(self.pid)
+
+    def has_decided(self) -> bool:
+        return self.decision is not None
+
+    # ------------------------------------------------------------------
+    # Module management and routing
+    # ------------------------------------------------------------------
+    def register_module(self, module: "ProtocolModule") -> None:
+        if module.path in self._modules:
+            raise ValueError(f"module path {module.path} already registered on process {self.pid}")
+        self._modules[module.path] = module
+
+    def module_at(self, path: Tuple[str, ...]) -> Optional["ProtocolModule"]:
+        return self._modules.get(path)
+
+    def deliver_message(self, delivery: MessageDelivery) -> None:
+        """Route an incoming message to the addressed module (harness callback)."""
+        module = self._modules.get(delivery.envelope.path)
+        if module is None:
+            self.on_unrouted_message(delivery)
+            return
+        module.on_message(delivery.sender, delivery.envelope.payload)
+
+    def deliver_timer(self, expiry: TimerExpiry) -> None:
+        """Route a timer expiry to the addressed module (harness callback)."""
+        if expiry.path == ():
+            self.on_timer(expiry.tag)
+            return
+        module = self._modules.get(expiry.path)
+        if module is not None:
+            module.on_timer(expiry.tag)
+
+    # ------------------------------------------------------------------
+    # Raw communication primitives (used by modules)
+    # ------------------------------------------------------------------
+    def send_raw(self, receiver: int, envelope: Envelope) -> None:
+        self.simulation.transmit(self.pid, receiver, envelope)
+
+    def set_timer_raw(self, delay: float, path: Tuple[str, ...], tag: Any) -> None:
+        self.simulation.schedule_timer(self.pid, delay, path, tag)
+
+    def decide(self, value: Any) -> None:
+        """Record this process's (first) decision."""
+        if self.decision is None:
+            self.decision = value
+            self.decision_time = self.now
+            self.simulation.record_decision(self.pid, value)
+            self.on_decide(value)
+
+    # ------------------------------------------------------------------
+    # Hooks for subclasses
+    # ------------------------------------------------------------------
+    def on_start(self) -> None:
+        """Called once when the process starts executing (build the stack here)."""
+
+    def on_decide(self, value: Any) -> None:
+        """Called when the process decides (after the decision is recorded)."""
+
+    def on_timer(self, tag: Any) -> None:
+        """Called for process-level timers (path ``()``)."""
+
+    def on_unrouted_message(self, delivery: MessageDelivery) -> None:
+        """Called for messages addressed to a module this process never built.
+
+        The default ignores them, which is the right behaviour for Byzantine
+        or crashed processes and for protocol messages arriving after the
+        local stack was torn down.
+        """
+
+
+class ProtocolModule:
+    """Base class for protocol building blocks.
+
+    Each module owns a unique path in its process and communicates only with
+    the module at the same path on other processes.  Submodules are created
+    by passing ``parent``; their names must be unique among siblings.
+    """
+
+    def __init__(self, process: Process, name: str, parent: Optional["ProtocolModule"] = None):
+        self.process = process
+        self.name = name
+        self.parent = parent
+        self.path: Tuple[str, ...] = (parent.path + (name,)) if parent is not None else (name,)
+        process.register_module(self)
+
+    # ------------------------------------------------------------------
+    # Environment accessors
+    # ------------------------------------------------------------------
+    @property
+    def pid(self) -> int:
+        return self.process.pid
+
+    @property
+    def n(self) -> int:
+        return self.process.n
+
+    @property
+    def system(self) -> "SystemConfig":
+        return self.process.system
+
+    @property
+    def now(self) -> float:
+        return self.process.now
+
+    @property
+    def authority(self) -> "KeyAuthority":
+        return self.process.authority
+
+    # ------------------------------------------------------------------
+    # Communication
+    # ------------------------------------------------------------------
+    def send(self, receiver: int, payload: Any) -> None:
+        """Send a point-to-point message to the peer module on ``receiver``."""
+        self.process.send_raw(receiver, Envelope(self.path, payload))
+
+    def broadcast(self, payload: Any, include_self: bool = True) -> None:
+        """Send ``payload`` to the peer module on every process.
+
+        The broadcast costs ``n`` messages (or ``n - 1`` without self), which
+        matches the accounting used by the paper's complexity statements.
+        """
+        for receiver in range(self.n):
+            if not include_self and receiver == self.pid:
+                continue
+            self.send(receiver, payload)
+
+    def send_to_all(self, receivers: Iterable[int], payload: Any) -> None:
+        """Send the same payload to an explicit set of receivers."""
+        for receiver in receivers:
+            self.send(receiver, payload)
+
+    def set_timer(self, delay: float, tag: Any) -> None:
+        """Schedule :meth:`on_timer` to fire after ``delay`` time units."""
+        self.process.set_timer_raw(delay, self.path, tag)
+
+    # ------------------------------------------------------------------
+    # Handlers to override
+    # ------------------------------------------------------------------
+    def on_message(self, sender: int, payload: Any) -> None:
+        """Handle a message from the peer module on process ``sender``."""
+
+    def on_timer(self, tag: Any) -> None:
+        """Handle a timer scheduled with :meth:`set_timer`."""

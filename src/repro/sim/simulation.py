@@ -1,0 +1,243 @@
+"""The discrete-event simulation driver.
+
+:class:`Simulation` owns the event queue, the clock, the network delay
+model, the (simulated) PKI, the fault assignment, and the complexity
+metrics.  A run is fully deterministic given the system parameters, the
+delay model (including its seed) and the process implementations, which is
+what makes the complexity experiments reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Dict, Iterable, List, Optional, Set, Tuple, Type
+
+from ..core.system import SystemConfig
+from ..crypto.signatures import KeyAuthority
+from .events import Envelope, Event, MessageDelivery, TimerExpiry
+from .metrics import MetricsCollector
+from .network import DelayModel
+from .process import Process
+
+
+class SimulationError(RuntimeError):
+    """Raised when a simulation run exceeds its safety limits."""
+
+
+class Simulation:
+    """A single execution of the simulated distributed system."""
+
+    def __init__(
+        self,
+        system: SystemConfig,
+        delay_model: Optional[DelayModel] = None,
+        seed: int = 0,
+        authority: Optional[KeyAuthority] = None,
+    ):
+        self.system = system
+        self.delay_model = delay_model if delay_model is not None else DelayModel(seed=seed)
+        self.authority = authority if authority is not None else KeyAuthority(system.n, seed=seed)
+        self.metrics = MetricsCollector(gst=self.delay_model.gst)
+        self.time = 0.0
+        self.processes: Dict[int, Process] = {}
+        self._correct: Set[int] = set()
+        self._queue: List[Event] = []
+        self._sequence = 0
+        self._started = False
+        self._start_times: Dict[int, float] = {}
+
+    # ------------------------------------------------------------------
+    # Topology construction
+    # ------------------------------------------------------------------
+    def add_process(self, process: Process, correct: bool = True, start_time: float = 0.0) -> Process:
+        """Register a process implementation for one process index.
+
+        Args:
+            process: The process object (its ``pid`` selects the slot).
+            correct: Whether the process counts as correct for the metrics
+                and the correctness checks.  Byzantine behaviours are added
+                with ``correct=False``.
+            start_time: When the process begins executing.  The paper assumes
+                correct processes start at or before GST; this is asserted.
+        """
+        if process.pid in self.processes:
+            raise ValueError(f"process {process.pid} already added")
+        if correct and start_time > self.delay_model.gst:
+            raise ValueError(
+                f"correct process {process.pid} would start at {start_time}, after GST="
+                f"{self.delay_model.gst}; the model requires correct processes to start by GST"
+            )
+        self.processes[process.pid] = process
+        if correct:
+            self._correct.add(process.pid)
+        self._start_times[process.pid] = start_time
+        return process
+
+    def populate(
+        self,
+        process_factory: Callable[[int, "Simulation"], Process],
+        faulty: Iterable[int] = (),
+        faulty_factory: Optional[Callable[[int, "Simulation"], Process]] = None,
+        start_times: Optional[Dict[int, float]] = None,
+    ) -> None:
+        """Build the whole system from factories.
+
+        Correct processes are created with ``process_factory``.  Faulty
+        indices either get a Byzantine process from ``faulty_factory`` or are
+        left silent (crashed from the start) when no factory is given.
+        """
+        faulty_set = set(faulty)
+        if len(faulty_set) > self.system.t:
+            raise ValueError(
+                f"{len(faulty_set)} faulty processes exceed the threshold t={self.system.t}"
+            )
+        times = start_times or {}
+        for pid in range(self.system.n):
+            start = times.get(pid, 0.0)
+            if pid in faulty_set:
+                if faulty_factory is not None:
+                    self.add_process(faulty_factory(pid, self), correct=False, start_time=start)
+                continue
+            self.add_process(process_factory(pid, self), correct=True, start_time=start)
+
+    def is_correct(self, pid: int) -> bool:
+        return pid in self._correct
+
+    @property
+    def correct_processes(self) -> Set[int]:
+        return set(self._correct)
+
+    @property
+    def faulty_processes(self) -> Set[int]:
+        return set(range(self.system.n)) - self._correct
+
+    # ------------------------------------------------------------------
+    # Event scheduling
+    # ------------------------------------------------------------------
+    def _push(self, time: float, kind: str, target: int, data: Any) -> None:
+        self._sequence += 1
+        heapq.heappush(self._queue, Event(time=time, sequence=self._sequence, kind=kind, target=target, data=data))
+
+    def transmit(self, sender: int, receiver: int, envelope: Envelope) -> None:
+        """Send a message from ``sender`` to ``receiver`` (called by processes)."""
+        self.system.validate_process(receiver)
+        sender_correct = self.is_correct(sender)
+        self.metrics.record_message(
+            sender=sender,
+            send_time=self.time,
+            payload=envelope.payload,
+            protocol=envelope.path,
+            sender_correct=sender_correct,
+        )
+        delivery_time = self.delay_model.delivery_time(sender, receiver, self.time, sender_correct)
+        delivery_time = max(delivery_time, self.time + self.delay_model.min_delay)
+        self._push(
+            delivery_time,
+            Event.MESSAGE,
+            receiver,
+            MessageDelivery(sender=sender, receiver=receiver, envelope=envelope, send_time=self.time),
+        )
+
+    def schedule_timer(self, pid: int, delay: float, path: Tuple[str, ...], tag: Any) -> None:
+        """Schedule a timer for a process (called by processes)."""
+        if delay < 0:
+            raise ValueError("timer delay must be non-negative")
+        self._push(self.time + delay, Event.TIMER, pid, TimerExpiry(path=path, tag=tag))
+
+    def record_decision(self, pid: int, value: Any) -> None:
+        if self.is_correct(pid):
+            self.metrics.record_decision(pid, self.time, value)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _start_processes(self) -> None:
+        for pid, process in self.processes.items():
+            self._push(self._start_times[pid], Event.TIMER, pid, TimerExpiry(path=("__start__",), tag=None))
+        self._started = True
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: int = 2_000_000,
+        stop_when: Optional[Callable[["Simulation"], bool]] = None,
+    ) -> MetricsCollector:
+        """Run the event loop.
+
+        Args:
+            until: Optional simulated-time horizon.
+            max_events: Safety bound on processed events.
+            stop_when: Optional predicate evaluated after every event; the
+                run stops as soon as it returns ``True`` (used e.g. to stop
+                once all correct processes have decided).
+
+        Returns:
+            The metrics collector (also available as ``self.metrics``).
+        """
+        if not self._started:
+            self._start_processes()
+        processed = 0
+        while self._queue:
+            if processed >= max_events:
+                raise SimulationError(
+                    f"simulation exceeded {max_events} events; the protocol is likely not terminating"
+                )
+            event = heapq.heappop(self._queue)
+            if until is not None and event.time > until:
+                # Leave the event unprocessed and stop: the horizon is reached.
+                heapq.heappush(self._queue, event)
+                break
+            self.time = max(self.time, event.time)
+            self._dispatch(event)
+            processed += 1
+            if stop_when is not None and stop_when(self):
+                break
+        return self.metrics
+
+    def run_until_all_correct_decide(
+        self, until: Optional[float] = None, max_events: int = 2_000_000
+    ) -> MetricsCollector:
+        """Run until every correct process has decided (or the queue drains)."""
+        return self.run(
+            until=until,
+            max_events=max_events,
+            stop_when=lambda sim: all(
+                sim.processes[pid].has_decided() for pid in sim.correct_processes
+            ),
+        )
+
+    def _dispatch(self, event: Event) -> None:
+        process = self.processes.get(event.target)
+        if process is None:
+            return
+        if event.kind == Event.MESSAGE:
+            process.deliver_message(event.data)
+        elif event.kind == Event.TIMER:
+            expiry: TimerExpiry = event.data
+            if expiry.path == ("__start__",):
+                process.on_start()
+            else:
+                process.deliver_timer(expiry)
+
+    # ------------------------------------------------------------------
+    # Correctness checks used by tests and experiments
+    # ------------------------------------------------------------------
+    def all_correct_decided(self) -> bool:
+        return all(self.processes[pid].has_decided() for pid in self._correct if pid in self.processes)
+
+    def agreement_holds(self) -> bool:
+        """No two correct processes decided different values."""
+        decided = [
+            self.processes[pid].decision
+            for pid in self._correct
+            if pid in self.processes and self.processes[pid].has_decided()
+        ]
+        return all(value == decided[0] for value in decided) if decided else True
+
+    def decisions(self) -> Dict[int, Any]:
+        """Decisions of correct processes (process -> value)."""
+        return {
+            pid: self.processes[pid].decision
+            for pid in self._correct
+            if pid in self.processes and self.processes[pid].has_decided()
+        }

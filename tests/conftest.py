@@ -1,0 +1,14 @@
+"""Pytest configuration: make ``repro`` importable from the source tree.
+
+The package is normally installed with ``pip install -e .``; inserting
+``src/`` on ``sys.path`` here keeps the test-suite runnable even in
+environments where the editable install is unavailable (e.g. offline CI
+images with an old setuptools).
+"""
+
+import pathlib
+import sys
+
+_SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

@@ -1,0 +1,142 @@
+"""Tests for the simulated cryptography substrate."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import (
+    KeyAuthority,
+    PartialSignature,
+    Signature,
+    ThresholdScheme,
+    ThresholdSignature,
+    digest,
+    stable_encode,
+)
+
+
+class TestStableEncoding:
+    def test_equal_values_encode_equally(self):
+        assert stable_encode({"a": 1, "b": 2}) == stable_encode({"b": 2, "a": 1})
+        assert stable_encode(frozenset({1, 2, 3})) == stable_encode({3, 2, 1})
+
+    def test_different_values_encode_differently(self):
+        assert stable_encode([1, 2]) != stable_encode([2, 1])
+        assert stable_encode("12") != stable_encode(12)
+        assert stable_encode(True) != stable_encode(1)
+
+    def test_nested_containers(self):
+        value = {"k": [1, (2, 3)], "s": {"x"}}
+        assert digest(value) == digest({"s": {"x"}, "k": [1, (2, 3)]})
+
+    def test_input_configuration_encoding(self):
+        from repro.core import InputConfiguration
+
+        a = InputConfiguration.from_mapping({0: "v", 2: "w"})
+        b = InputConfiguration.from_mapping({2: "w", 0: "v"})
+        c = InputConfiguration.from_mapping({0: "v", 2: "x"})
+        assert digest(a) == digest(b)
+        assert digest(a) != digest(c)
+
+    @given(st.recursive(st.integers() | st.text() | st.booleans(), st.lists, max_leaves=10))
+    @settings(max_examples=60)
+    def test_encoding_is_deterministic(self, value):
+        assert stable_encode(value) == stable_encode(value)
+
+
+class TestSignatures:
+    def test_sign_and_verify(self):
+        authority = KeyAuthority(4)
+        signature = authority.sign(2, ("proposal", "v"))
+        assert authority.verify(signature, ("proposal", "v"))
+        assert authority.verify(signature, ("proposal", "v"), expected_signer=2)
+
+    def test_wrong_message_rejected(self):
+        authority = KeyAuthority(4)
+        signature = authority.sign(2, "m1")
+        assert not authority.verify(signature, "m2")
+
+    def test_wrong_expected_signer_rejected(self):
+        authority = KeyAuthority(4)
+        signature = authority.sign(2, "m")
+        assert not authority.verify(signature, "m", expected_signer=3)
+
+    def test_forged_signature_rejected(self):
+        authority = KeyAuthority(4)
+        forged = authority.forge(claimed_signer=1, message="m")
+        assert not authority.verify(forged, "m")
+
+    def test_unknown_signer_rejected(self):
+        authority = KeyAuthority(4)
+        with pytest.raises(ValueError):
+            authority.sign(7, "m")
+        bogus = Signature(signer=9, tag="00")
+        assert not authority.verify(bogus, "m")
+
+    def test_non_signature_objects_rejected(self):
+        authority = KeyAuthority(4)
+        assert not authority.verify("not a signature", "m")
+
+    def test_different_seeds_produce_independent_keys(self):
+        first = KeyAuthority(4, seed=1)
+        second = KeyAuthority(4, seed=2)
+        signature = first.sign(0, "m")
+        assert not second.verify(signature, "m")
+
+    def test_signature_word_size(self):
+        authority = KeyAuthority(4)
+        assert authority.sign(0, "m").words == 1
+
+
+class TestThresholdSignatures:
+    def make_scheme(self, n=4, t=1):
+        authority = KeyAuthority(n)
+        return ThresholdScheme(authority, threshold=n - t)
+
+    def test_combine_and_verify(self):
+        scheme = self.make_scheme()
+        partials = [scheme.partial_sign(pid, "msg") for pid in range(3)]
+        combined = scheme.combine(partials, "msg")
+        assert scheme.verify(combined, "msg")
+        assert combined.words == 1
+
+    def test_combine_requires_threshold_distinct_shares(self):
+        scheme = self.make_scheme()
+        partials = [scheme.partial_sign(0, "msg"), scheme.partial_sign(1, "msg")]
+        with pytest.raises(ValueError):
+            scheme.combine(partials, "msg")
+        duplicated = [scheme.partial_sign(0, "msg")] * 3
+        with pytest.raises(ValueError):
+            scheme.combine(duplicated, "msg")
+
+    def test_invalid_shares_are_ignored(self):
+        scheme = self.make_scheme()
+        good = [scheme.partial_sign(pid, "msg") for pid in range(2)]
+        bad = [PartialSignature(signer=2, signature=Signature(signer=2, tag="junk"))]
+        with pytest.raises(ValueError):
+            scheme.combine(good + bad, "msg")
+
+    def test_verify_rejects_wrong_message(self):
+        scheme = self.make_scheme()
+        partials = [scheme.partial_sign(pid, "msg") for pid in range(3)]
+        combined = scheme.combine(partials, "msg")
+        assert not scheme.verify(combined, "other")
+
+    def test_verify_rejects_undersized_signer_set(self):
+        scheme = self.make_scheme()
+        fake = ThresholdSignature(message_digest=digest(("tsig", "msg")), signers=frozenset({0}), threshold=3)
+        assert not scheme.verify(fake, "msg")
+
+    def test_partial_verification(self):
+        scheme = self.make_scheme()
+        share = scheme.partial_sign(1, "msg")
+        assert scheme.verify_partial(share, "msg")
+        assert not scheme.verify_partial(share, "other")
+        assert not scheme.verify_partial("garbage", "msg")
+
+    def test_threshold_bounds_validated(self):
+        authority = KeyAuthority(4)
+        with pytest.raises(ValueError):
+            ThresholdScheme(authority, threshold=0)
+        with pytest.raises(ValueError):
+            ThresholdScheme(authority, threshold=5)

@@ -1,0 +1,230 @@
+"""Tests for the partially synchronous simulator substrate."""
+
+import pytest
+
+from repro.core import SystemConfig
+from repro.sim import (
+    DelayModel,
+    Envelope,
+    PartitionDelayModel,
+    Process,
+    ProtocolModule,
+    Simulation,
+    SimulationError,
+    SynchronousDelayModel,
+    silent_factory,
+    word_size,
+)
+
+
+class PingModule(ProtocolModule):
+    """Toy protocol: everybody broadcasts 'ping' and records what it hears."""
+
+    def __init__(self, process, name="ping", parent=None):
+        super().__init__(process, name, parent)
+        self.received = []
+
+    def start(self):
+        self.broadcast(("ping", self.pid))
+
+    def on_message(self, sender, payload):
+        self.received.append((sender, payload))
+
+
+class PingProcess(Process):
+    def on_start(self):
+        self.ping = PingModule(self)
+        self.ping.start()
+
+
+class DeciderProcess(Process):
+    """Decides a constant after one timer tick (exercises timers and decisions)."""
+
+    def on_start(self):
+        self.set_timer_raw(1.0, (), "decide")
+
+    def on_timer(self, tag):
+        if tag == "decide":
+            self.decide("constant")
+
+
+def build(n=4, t=1, delay_model=None, faulty=(), factory=None):
+    system = SystemConfig(n, t)
+    sim = Simulation(system, delay_model=delay_model or SynchronousDelayModel(seed=3))
+    sim.populate(factory or (lambda pid, s: PingProcess(pid, s)), faulty=faulty)
+    return sim
+
+
+class TestDelayModel:
+    def test_post_gst_delays_bounded_by_delta(self):
+        model = DelayModel(gst=10.0, delta=2.0, min_delay=0.5, seed=1)
+        for send_time in [10.0, 15.0, 100.0]:
+            delivery = model.delivery_time(0, 1, send_time, sender_correct=True)
+            assert send_time + 0.5 <= delivery <= send_time + 2.0
+
+    def test_pre_gst_delivery_by_gst_plus_delta(self):
+        model = DelayModel(gst=10.0, delta=2.0, min_delay=0.5, seed=1)
+        for send_time in [0.0, 5.0, 9.9]:
+            delivery = model.delivery_time(0, 1, send_time, sender_correct=True)
+            assert send_time < delivery <= 12.0
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            DelayModel(delta=0)
+        with pytest.raises(ValueError):
+            DelayModel(delta=1.0, min_delay=2.0)
+        with pytest.raises(ValueError):
+            DelayModel(gst=-1.0)
+
+    def test_schedule_hook_can_delay_but_not_violate_contract(self):
+        hook = lambda sender, receiver, send_time, default: 1_000.0
+        model = DelayModel(gst=0.0, delta=2.0, min_delay=0.5, seed=1, schedule_hook=hook)
+        delivery = model.delivery_time(0, 1, 5.0, sender_correct=True)
+        assert delivery <= 7.0
+        byzantine_delivery = model.delivery_time(0, 1, 5.0, sender_correct=False)
+        assert byzantine_delivery == 1_000.0
+
+    def test_partition_model_delays_cross_group_messages(self):
+        model = PartitionDelayModel(group_a={0}, group_c={2}, release_time=50.0, delta=1.0, seed=1)
+        assert model.delivery_time(0, 2, 1.0, True) > 50.0
+        assert model.delivery_time(2, 0, 1.0, True) > 50.0
+        assert model.delivery_time(0, 1, 1.0, True) < 50.0
+
+    def test_partition_groups_must_be_disjoint(self):
+        with pytest.raises(ValueError):
+            PartitionDelayModel(group_a={0}, group_c={0}, release_time=1.0)
+
+
+class TestSimulationBasics:
+    def test_ping_all_to_all_delivery(self):
+        sim = build()
+        sim.run()
+        for pid in sim.correct_processes:
+            received = sim.processes[pid].ping.received
+            assert {sender for sender, _ in received} == set(range(4))
+
+    def test_message_complexity_counts_correct_senders_only(self):
+        sim = build(faulty=[3])
+        sim.run()
+        # 3 correct processes broadcast to 4 destinations each.
+        assert sim.metrics.message_complexity == 12
+        assert sim.metrics.total_messages == 12
+
+    def test_pre_gst_messages_excluded_from_paper_metric(self):
+        system = SystemConfig(4, 1)
+        sim = Simulation(system, delay_model=DelayModel(gst=100.0, delta=1.0, seed=1))
+        sim.populate(lambda pid, s: PingProcess(pid, s))
+        sim.run(until=50.0)
+        assert sim.metrics.message_complexity == 0
+        assert sim.metrics.total_messages == 16
+
+    def test_decisions_and_agreement(self):
+        sim = build(factory=lambda pid, s: DeciderProcess(pid, s))
+        sim.run_until_all_correct_decide()
+        assert sim.all_correct_decided()
+        assert sim.agreement_holds()
+        assert set(sim.decisions().values()) == {"constant"}
+
+    def test_populate_rejects_too_many_faulty(self):
+        system = SystemConfig(4, 1)
+        sim = Simulation(system)
+        with pytest.raises(ValueError):
+            sim.populate(lambda pid, s: PingProcess(pid, s), faulty=[0, 1])
+
+    def test_correct_process_cannot_start_after_gst(self):
+        system = SystemConfig(4, 1)
+        sim = Simulation(system, delay_model=DelayModel(gst=5.0))
+        with pytest.raises(ValueError):
+            sim.add_process(PingProcess(0, sim), correct=True, start_time=10.0)
+
+    def test_duplicate_process_rejected(self):
+        sim = build()
+        with pytest.raises(ValueError):
+            sim.add_process(PingProcess(0, sim))
+
+    def test_silent_faulty_send_nothing(self):
+        sim = build(faulty=[2], factory=lambda pid, s: PingProcess(pid, s))
+        sim.run()
+        assert sim.metrics.per_sender_messages.get(2, 0) == 0
+
+    def test_max_events_guard(self):
+        class FloodProcess(Process):
+            def on_start(self):
+                self.set_timer_raw(0.1, (), "tick")
+
+            def on_timer(self, tag):
+                self.set_timer_raw(0.1, (), "tick")
+
+        system = SystemConfig(4, 1)
+        sim = Simulation(system)
+        sim.populate(lambda pid, s: FloodProcess(pid, s))
+        with pytest.raises(SimulationError):
+            sim.run(max_events=100)
+
+    def test_run_until_time_horizon(self):
+        sim = build(factory=lambda pid, s: DeciderProcess(pid, s))
+        sim.run(until=0.5)
+        assert not sim.all_correct_decided()
+        sim.run()
+        assert sim.all_correct_decided()
+
+    def test_determinism_across_runs(self):
+        first = build(delay_model=SynchronousDelayModel(seed=7))
+        first.run()
+        second = build(delay_model=SynchronousDelayModel(seed=7))
+        second.run()
+        assert first.metrics.summary() == second.metrics.summary()
+
+
+class TestWordSize:
+    def test_atomic_values(self):
+        assert word_size(1) == 1
+        assert word_size("hash") == 1
+        assert word_size(None) == 0
+
+    def test_containers_sum(self):
+        assert word_size((1, 2, 3)) == 3
+        assert word_size({"a": 1}) == 2
+
+    def test_input_configuration_costs_its_size(self):
+        from repro.core import InputConfiguration
+
+        config = InputConfiguration.from_mapping({0: 1, 1: 2, 2: 3})
+        assert word_size(config) == 3
+
+    def test_signature_costs_one_word(self):
+        from repro.crypto import KeyAuthority
+
+        assert word_size(KeyAuthority(4).sign(0, "m")) == 1
+
+
+class TestModuleRouting:
+    def test_messages_routed_by_path(self):
+        class TwoModuleProcess(Process):
+            def on_start(self):
+                self.first = PingModule(self, name="first")
+                self.second = PingModule(self, name="second")
+                self.first.broadcast("from-first")
+
+        system = SystemConfig(4, 1)
+        sim = Simulation(system, delay_model=SynchronousDelayModel(seed=2))
+        sim.populate(lambda pid, s: TwoModuleProcess(pid, s))
+        sim.run()
+        for pid in sim.correct_processes:
+            process = sim.processes[pid]
+            assert len(process.first.received) == 4
+            assert len(process.second.received) == 0
+
+    def test_duplicate_module_path_rejected(self):
+        sim = build()
+        process = sim.processes[0]
+        PingModule(process, name="unique")
+        with pytest.raises(ValueError):
+            PingModule(process, name="unique")
+
+    def test_unrouted_messages_ignored(self):
+        sim = build()
+        process = sim.processes[0]
+        process.deliver_message(
+            type("D", (), {"sender": 1, "receiver": 0, "envelope": Envelope(("ghost",), "x"), "send_time": 0.0})()
+        )

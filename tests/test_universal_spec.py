@@ -1,0 +1,70 @@
+"""Tests for the Universal decision rule (Algorithm 2, pure form)."""
+
+import pytest
+
+from repro.core import (
+    InputConfiguration,
+    CorrectProposalValidity,
+    StrongValidity,
+    SystemConfig,
+    UniversalSpec,
+    universal_decision,
+    strong_validity_lambda,
+)
+
+SYSTEM = SystemConfig(n=4, t=1)
+
+
+def vec(mapping):
+    return InputConfiguration.from_mapping(mapping)
+
+
+class TestUniversalSpec:
+    def test_decide_applies_lambda(self):
+        spec = UniversalSpec.for_standard_property(SYSTEM, "strong")
+        assert spec.decide(vec({0: "v", 1: "v", 2: "v"})) == "v"
+
+    def test_decide_rejects_wrong_vector_size(self):
+        spec = UniversalSpec.for_standard_property(SYSTEM, "strong")
+        with pytest.raises(ValueError):
+            spec.decide(vec({0: "v", 1: "v", 2: "v", 3: "v"}))
+
+    def test_for_standard_property_rejects_unknown_key(self):
+        with pytest.raises(KeyError):
+            UniversalSpec.for_standard_property(SYSTEM, "nonsense")
+
+    def test_decision_is_admissible_for_similar_execution(self):
+        spec = UniversalSpec.for_standard_property(SYSTEM, "strong")
+        execution = vec({0: "v", 1: "v", 2: "v", 3: "w"})
+        decided_vector = vec({0: "v", 1: "v", 2: "v"})
+        assert spec.decision_is_admissible(decided_vector, execution)
+
+    def test_decision_is_admissible_returns_false_for_dissimilar_vector(self):
+        spec = UniversalSpec.for_standard_property(SYSTEM, "strong")
+        execution = vec({0: "v", 1: "v", 2: "v", 3: "w"})
+        mismatched_vector = vec({0: "x", 1: "x", 2: "x"})
+        assert not spec.decision_is_admissible(mismatched_vector, execution)
+
+    def test_from_finite_domains_builds_enumerative_lambda(self):
+        spec = UniversalSpec.from_finite_domains(SYSTEM, StrongValidity([0, 1]), [0, 1])
+        unanimous = vec({0: 1, 1: 1, 2: 1})
+        assert spec.decide(unanimous) == 1
+
+    def test_from_finite_domains_rejects_unsolvable_property(self):
+        with pytest.raises(ValueError):
+            UniversalSpec.from_finite_domains(
+                SYSTEM, CorrectProposalValidity([0, 1, 2]), [0, 1, 2]
+            )
+
+    def test_universal_decision_helper(self):
+        lam = strong_validity_lambda(SYSTEM)
+        assert universal_decision(vec({0: 3, 1: 3, 2: 5}), lam) == 3
+
+    def test_every_standard_spec_produces_admissible_decisions(self):
+        # End-to-end pure check of Lemma 8's validity argument for each named variant.
+        keys = ["strong", "weak", "convex-hull", "median", "free"]
+        execution = vec({0: 1, 1: 1, 2: 2, 3: 3})
+        decided_vector = vec({0: 1, 1: 1, 2: 2})
+        for key in keys:
+            spec = UniversalSpec.for_standard_property(SYSTEM, key)
+            assert spec.decision_is_admissible(decided_vector, execution), key
