@@ -4,30 +4,58 @@ Paper claim: Algorithm 1 has ``O(n^3)`` communication (it ships linear-size
 vectors and proofs inside Quad), while Algorithm 6 — slow broadcast + vector
 dissemination + Quad over hashes + ADD — achieves ``O(n^2 log n)`` words, a
 near-linear improvement, at the price of (much) higher latency.  The
-benchmark measures words-on-the-wire and latency for both backends and checks
-that the compact variant's *per-message* payload stays bounded while the
-authenticated variant's grows linearly with ``n``.
+benchmark sweeps both Universal scenarios through the experiment runner
+across system sizes (with ``t`` silent Byzantine processes, the worst case
+for paper-style counting) and checks that the compact variant's words grow no
+faster while its *per-message* payload stays bounded.
 """
 
-from conftest import run_once
+from conftest import BENCH_SEED, run_once
 
-from repro.analysis import compare_backends
+from repro.experiments import Runner, growth_exponent, make_scenario
 
 SIZES = (4, 7, 10)
+BACKENDS = ("authenticated", "compact")
+
+
+def _scenario(backend, n):
+    return make_scenario(
+        f"universal-{backend}",
+        adversary="silent",
+        delay="synchronous",
+        n=n,
+        t=(n - 1) // 3,
+        name=f"alg6:n={n}:{backend}",
+    )
 
 
 def test_alg6_words_vs_algorithm1(benchmark):
-    results = run_once(benchmark, compare_backends, SIZES, ("authenticated", "compact"), "strong", 3)
-    auth, compact = results["authenticated"], results["compact"]
-    benchmark.extra_info["authenticated"] = auth.table()
-    benchmark.extra_info["compact"] = compact.table()
-    for sweep in results.values():
-        assert all(report.agreement and report.all_decided and report.validity_satisfied for report in sweep.rows)
+    scenarios = [_scenario(backend, n) for backend in BACKENDS for n in SIZES]
+
+    def measure():
+        results = Runner(parallel=4).run(scenarios, seeds=(BENCH_SEED,))
+        assert all(result.ok for result in results)
+        by_backend = {backend: [] for backend in BACKENDS}
+        for result in results:
+            _, _, backend = result.scenario.split(":")
+            by_backend[backend].append(result)
+        return by_backend
+
+    by_backend = run_once(benchmark, measure)
+    auth, compact = by_backend["authenticated"], by_backend["compact"]
+    benchmark.extra_info["rows"] = {
+        backend: [
+            {"n": size, "messages": run.message_complexity, "words": run.communication_complexity,
+             "latency": round(run.decision_latency, 2)}
+            for size, run in zip(SIZES, runs)
+        ]
+        for backend, runs in by_backend.items()
+    }
 
     # Communication growth: the compact backend grows no faster than the
     # authenticated one (the asymptotic gap is n vs n log n / n^... in words).
-    auth_exponent = auth.word_growth_exponent()
-    compact_exponent = compact.word_growth_exponent()
+    auth_exponent = growth_exponent(SIZES, [run.communication_complexity for run in auth])
+    compact_exponent = growth_exponent(SIZES, [run.communication_complexity for run in compact])
     benchmark.extra_info["word_growth_exponents"] = {
         "authenticated": round(auth_exponent, 3),
         "compact": round(compact_exponent, 3),
@@ -36,8 +64,8 @@ def test_alg6_words_vs_algorithm1(benchmark):
 
     # Payload shape: words per message stay bounded for the compact variant,
     # but grow with n for the authenticated one (it carries full vectors).
-    auth_payload = [words / max(1, msgs) for words, msgs in zip(auth.words(), auth.messages())]
-    compact_payload = [words / max(1, msgs) for words, msgs in zip(compact.words(), compact.messages())]
+    auth_payload = [run.communication_complexity / max(1, run.message_complexity) for run in auth]
+    compact_payload = [run.communication_complexity / max(1, run.message_complexity) for run in compact]
     benchmark.extra_info["words_per_message"] = {
         "authenticated": [round(x, 2) for x in auth_payload],
         "compact": [round(x, 2) for x in compact_payload],
@@ -46,6 +74,5 @@ def test_alg6_words_vs_algorithm1(benchmark):
 
     # The price of the compact variant: latency (slow broadcast).
     benchmark.extra_info["latency"] = {
-        "authenticated": auth.latencies(),
-        "compact": compact.latencies(),
+        backend: [round(run.decision_latency, 2) for run in runs] for backend, runs in by_backend.items()
     }

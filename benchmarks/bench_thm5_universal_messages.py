@@ -3,42 +3,61 @@
 Paper claim: with a PKI, Universal (on authenticated vector consensus) solves
 any solvable non-trivial consensus variant with ``O(n^2)`` messages, matching
 the Theorem 4 lower bound up to constants when ``t`` is proportional to ``n``.
-The benchmark sweeps the system size with ``t`` silent Byzantine processes,
-fits the growth exponent of the post-GST message count, and checks it stays
-quadratic-ish (well below cubic), with every execution correct and admissible.
+The benchmark sweeps the system size through the experiment runner with ``t``
+silent Byzantine processes, fits the growth exponent of the post-GST message
+count, and checks it stays quadratic-ish (well below cubic), with every
+execution correct and admissible.
 """
 
-from conftest import run_once
+from conftest import BENCH_SEED, run_once
 
-from repro.analysis import sweep_universal_complexity
+from repro.experiments import Runner, growth_exponent, make_scenario
 
 SIZES = (4, 7, 10, 13)
 
 
+def _sweep(property_key, sizes, seed):
+    scenarios = [
+        make_scenario(
+            "universal-authenticated",
+            adversary="silent",
+            delay="synchronous",
+            n=n,
+            t=(n - 1) // 3,
+            property_key=property_key,
+            name=f"thm5:{property_key}:n={n}",
+        )
+        for n in sizes
+    ]
+    results = Runner(parallel=4).run(scenarios, seeds=(seed,))
+    assert all(result.ok for result in results), [result.error or result.violations for result in results]
+    return results
+
+
 def test_thm5_authenticated_universal_message_growth(benchmark):
-    sweep = run_once(benchmark, sweep_universal_complexity, SIZES, "authenticated", "strong", True, 1)
-    exponent = sweep.message_growth_exponent()
-    benchmark.extra_info["rows"] = sweep.table()
+    results = run_once(benchmark, _sweep, "strong", SIZES, BENCH_SEED)
+    messages = [result.message_complexity for result in results]
+    exponent = growth_exponent(SIZES, messages)
+    benchmark.extra_info["rows"] = [
+        {"n": size, "messages": result.message_complexity, "words": result.communication_complexity}
+        for size, result in zip(SIZES, results)
+    ]
     benchmark.extra_info["message_growth_exponent"] = round(exponent, 3)
-    assert all(report.agreement and report.all_decided and report.validity_satisfied for report in sweep.rows)
     # Quadratic shape: the fitted exponent stays clearly below cubic and above linear.
     assert 1.2 < exponent < 2.8
     # Monotone in n.
-    messages = sweep.messages()
     assert all(earlier < later for earlier, later in zip(messages, messages[1:]))
 
 
 def test_thm5_other_validity_properties_same_cost_shape(benchmark):
     def sweep_two_properties():
-        return {
-            key: sweep_universal_complexity((4, 7, 10), backend="authenticated", property_key=key, seed=2)
-            for key in ("weak", "convex-hull")
-        }
+        return {key: _sweep(key, SIZES[:3], BENCH_SEED) for key in ("weak", "convex-hull")}
 
     sweeps = run_once(benchmark, sweep_two_properties)
-    benchmark.extra_info["exponents"] = {
-        key: round(sweep.message_growth_exponent(), 3) for key, sweep in sweeps.items()
+    exponents = {
+        key: growth_exponent(SIZES[:3], [result.message_complexity for result in results])
+        for key, results in sweeps.items()
     }
-    for key, sweep in sweeps.items():
-        assert all(report.agreement and report.validity_satisfied for report in sweep.rows), key
-        assert sweep.message_growth_exponent() < 2.8, key
+    benchmark.extra_info["exponents"] = {key: round(value, 3) for key, value in exponents.items()}
+    for key, value in exponents.items():
+        assert value < 2.8, key

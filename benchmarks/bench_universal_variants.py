@@ -2,41 +2,53 @@
 
 Paper claim: the design of Universal shows that any solvable, non-trivial
 consensus variant can be solved via vector consensus at no extra cost — only
-the final ``Lambda`` application differs.  The benchmark runs one workload per
-named validity property and checks that every decision is admissible and that
-the message cost is essentially identical across variants (same backend, same
-workload).
+the final ``Lambda`` application differs.  The benchmark runs one scenario
+per named validity property through the experiment runner (same workload,
+same backend, same seed) and checks that every decision is admissible and
+that the message cost is essentially identical across variants.
 """
 
-from conftest import run_once
+from conftest import BENCH_SEED, run_once
 
-from repro.analysis import run_universal_execution
-from repro.core import SystemConfig
+from repro.experiments import Runner, make_scenario
 
 PROPERTIES = ("strong", "weak", "correct-proposal", "median", "convex-hull", "interval")
+PROPOSALS = ((0, 3), (1, 3), (2, 3), (3, 5), (4, 1), (5, 3), (6, 9))
 
 
 def test_universal_solves_every_standard_variant(benchmark):
+    scenarios = [
+        make_scenario(
+            "universal-authenticated",
+            adversary="silent",
+            delay="synchronous",
+            n=7,
+            t=2,
+            property_key=key,
+            name=f"variant:{key}",
+            params={"proposals": PROPOSALS},
+        )
+        for key in PROPERTIES
+    ]
+
     def run_all():
-        system = SystemConfig(7, 2)
-        proposals = {0: 3, 1: 3, 2: 3, 3: 5, 4: 1, 5: 3, 6: 9}
-        return {
-            key: run_universal_execution(
-                system,
-                property_key=key,
-                backend="authenticated",
-                proposals=proposals,
-                faulty=(5, 6),
-                seed=11,
-            )
-            for key in PROPERTIES
-        }
+        results = Runner().run(scenarios, seeds=(BENCH_SEED,))
+        return {result.scenario.split(":", 1)[1]: result for result in results}
 
     reports = run_once(benchmark, run_all)
-    benchmark.extra_info["rows"] = {key: report.summary_row() for key, report in reports.items()}
+    benchmark.extra_info["rows"] = {
+        key: {
+            "messages": report.message_complexity,
+            "words": report.communication_complexity,
+            "latency": round(report.decision_latency, 2),
+            "decisions": list(report.decisions),
+        }
+        for key, report in reports.items()
+    }
     for key, report in reports.items():
-        assert report.agreement and report.all_decided, key
-        assert report.validity_satisfied, key
+        assert report.ok, (key, report.error, report.violations)
+        assert report.agreement and report.completed, key
+        assert report.validity_ok, key
     message_counts = [report.message_complexity for report in reports.values()]
     # Same backend, same workload: the variant only changes Lambda, not the cost.
     assert max(message_counts) - min(message_counts) <= 0.2 * max(message_counts)

@@ -5,14 +5,31 @@ per-experiment index and EXPERIMENTS.md for paper-vs-measured).  The heavy
 simulations are run once per benchmark (``rounds=1``) — the quantity of
 interest is the measured complexity shape stored in ``extra_info``, not the
 wall-clock timing statistics.
+
+Seeding: every benchmark draws its seeds from the experiment runner's single
+seeding path (:data:`repro.experiments.DEFAULT_SEED` / ``sweep_seeds``), so
+the numbers stored in BENCH_*.json are bit-reproducible run-to-run and match
+what ``python -m repro.experiments run`` measures for the same scenarios.
+Override with ``REPRO_BENCH_SEED=<int>`` to sweep a different seed.
 """
 
+import os
 import pathlib
 import sys
 
 _SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
 if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
+
+from repro.experiments import DEFAULT_SEED, sweep_seeds  # noqa: E402  (path bootstrap above)
+
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", DEFAULT_SEED))
+"""The one seed shared by every benchmark and the experiment runner."""
+
+
+def bench_seeds(count: int):
+    """The canonical seed sequence for multi-run benchmark sweeps."""
+    return sweep_seeds(count, base=BENCH_SEED)
 
 
 def run_once(benchmark, func, *args, **kwargs):

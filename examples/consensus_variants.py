@@ -4,10 +4,10 @@
 Section 5.2 observes that Vector Validity is a "strongest" validity property:
 once correct processes agree on a vector of n - t proposals, *any* solvable
 consensus variant is obtained for free by applying that variant's Lambda
-function to the vector.  This example runs Universal once per named validity
-property (over the three vector-consensus backends) on the same proposal
-assignment and shows that every decision is admissible, and what each backend
-costs.
+function to the vector.  This example drives the experiment runner
+(:mod:`repro.experiments`) over one scenario per named validity property and
+one per vector-consensus backend — the same workload throughout — and shows
+that every decision is admissible, and what each backend costs.
 
 Run with:  python examples/consensus_variants.py
 """
@@ -17,42 +17,62 @@ import sys
 
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
 
-from repro.analysis import run_universal_execution
-from repro.core import SystemConfig
+from repro.experiments import DEFAULT_SEED, Runner, make_scenario
 
 PROPERTIES = ["strong", "weak", "correct-proposal", "median", "convex-hull", "interval"]
 BACKENDS = ["authenticated", "non-authenticated", "compact"]
+PROPOSALS = ((0, 3), (1, 3), (2, 3), (3, 5), (4, 1), (5, 3), (6, 9))
 
 
 def main() -> None:
-    system = SystemConfig(n=7, t=2)
-    proposals = {0: 3, 1: 3, 2: 3, 3: 5, 4: 1, 5: 3, 6: 9}
-    faulty = (5, 6)
-
-    print(f"system: n={system.n}, t={system.t}; proposals={proposals}; silent Byzantine: {list(faulty)}")
+    proposals = dict(PROPOSALS)
+    print(f"system: n=7, t=2; proposals={proposals}; adversary: 2 silent Byzantine (pids 5, 6)")
     print()
+
     print("=== Every consensus variant from one algorithmic design (authenticated backend) ===")
-    for key in PROPERTIES:
-        report = run_universal_execution(
-            system, property_key=key, backend="authenticated", proposals=proposals, faulty=faulty, seed=11
+    variant_scenarios = [
+        make_scenario(
+            "universal-authenticated",
+            adversary="silent",
+            delay="synchronous",
+            n=7,
+            t=2,
+            property_key=key,
+            name=key,
+            params={"proposals": PROPOSALS},
         )
-        decision = next(iter(report.decisions.values()))
-        print(f"{key:18s} decided {decision!r:6}  admissible={report.validity_satisfied}  "
+        for key in PROPERTIES
+    ]
+    for report in Runner(parallel=3).run(variant_scenarios, seeds=(DEFAULT_SEED,)):
+        decision = report.decisions[0][1] if report.decisions else "<none>"
+        print(f"{report.scenario:18s} decided {decision:6}  admissible={report.validity_ok}  "
               f"agreement={report.agreement}  messages={report.message_complexity}")
     print()
 
     print("=== The three vector-consensus backends (Strong Validity) ===")
     print(f"{'backend':20s} {'messages':>9s} {'words':>9s} {'latency':>9s}")
-    for backend in BACKENDS:
-        report = run_universal_execution(
-            system, property_key="strong", backend=backend, proposals=proposals, faulty=faulty, seed=11
+    backend_scenarios = [
+        make_scenario(
+            f"universal-{backend}",
+            adversary="silent",
+            delay="synchronous",
+            n=7,
+            t=2,
+            name=backend,
+            params={"proposals": PROPOSALS},
         )
-        print(f"{backend:20s} {report.message_complexity:9d} {report.communication_complexity:9d} "
+        for backend in BACKENDS
+    ]
+    for report in Runner(parallel=3).run(backend_scenarios, seeds=(DEFAULT_SEED,)):
+        print(f"{report.scenario:20s} {report.message_complexity:9d} {report.communication_complexity:9d} "
               f"{report.decision_latency:9.1f}")
     print()
     print("Algorithm 1 (authenticated) minimises messages; Algorithm 3 (non-authenticated)")
     print("avoids signatures at a polynomial message cost; Algorithm 6 (compact) trades")
     print("latency for fewer words on the wire.")
+    print()
+    print("Sweep the full protocol x adversary x delay matrix with:")
+    print("  python -m repro.experiments run --seeds 3 --parallel 4")
 
 
 if __name__ == "__main__":

@@ -85,6 +85,25 @@ def main() -> None:
     print(f"message complexity (paper metric): {simulation.metrics.message_complexity}")
     print(f"communication complexity (words):  {simulation.metrics.communication_complexity}")
     print(f"decision latency (simulated time): {simulation.metrics.decision_latency():.1f}")
+    print()
+
+    # ------------------------------------------------------------------
+    # 3. The experiment runner: sweep scenarios instead of hand-wiring runs.
+    # ------------------------------------------------------------------
+    from repro.experiments import DEFAULT_SEED, Runner, aggregate, make_scenario, sweep_seeds
+
+    scenarios = [
+        make_scenario("universal-authenticated", adversary=adversary, delay=delay)
+        for adversary in ("silent", "crash")
+        for delay in ("synchronous", "eventual")
+    ]
+    results = Runner(parallel=2).run(scenarios, seeds=sweep_seeds(3, base=DEFAULT_SEED))
+
+    print("=== Experiments (parallel sweep, deterministic per (scenario, seed)) ===")
+    for name, summary in sorted(aggregate(results).items()):
+        print(f"{name:45s} runs={summary.runs} ok={summary.ok} "
+              f"msgs mean={summary.messages.mean:.1f} latency mean={summary.latency.mean:.1f}")
+    print("full matrix: python -m repro.experiments --list")
 
 
 if __name__ == "__main__":

@@ -17,6 +17,10 @@ The package is organised as follows:
 * :mod:`repro.analysis` — experiment drivers used by the benchmarks and the
   examples (classification, complexity sweeps, lower-bound and partitioning
   adversaries).
+* :mod:`repro.experiments` — the scenario matrix (protocol × adversary ×
+  delay model) and the parallel experiment runner with deterministic
+  per-``(scenario, seed)`` results, aggregation and regression baselines;
+  CLI: ``python -m repro.experiments``.
 """
 
 from . import core

@@ -1,0 +1,79 @@
+"""Parallel experiment runner and scenario matrix.
+
+This package turns the one-off ``Simulation`` drivers of the early repo into
+an experiment subsystem:
+
+* :mod:`repro.experiments.scenario` — :class:`ScenarioSpec` plus registries
+  that compose consensus protocols, adversary behaviours and network delay
+  models into a named cartesian scenario matrix;
+* :mod:`repro.experiments.runner` — :class:`Runner`, which sweeps
+  ``scenarios × seeds`` serially or with ``multiprocessing`` fan-out and
+  per-run timeouts, producing deterministic :class:`RunResult` records
+  (byte-identical between serial and parallel execution for the same pairs);
+* :mod:`repro.experiments.aggregate` — per-scenario summary statistics and
+  JSON regression baselines;
+* :mod:`repro.experiments.cli` — the ``python -m repro.experiments`` entry
+  point (``--list``, ``run``, baseline write/check).
+
+Seeds: every run is fully determined by its ``(scenario, seed)`` pair.
+:data:`DEFAULT_SEED` and :func:`sweep_seeds` are the single seeding path
+shared with the benchmark suite, so BENCH numbers reproduce run-to-run.
+"""
+
+from .aggregate import (
+    Distribution,
+    ScenarioSummary,
+    aggregate,
+    check_baseline,
+    diff_against_baseline,
+    growth_exponent,
+    load_baseline,
+    results_to_json,
+    summaries_to_json,
+    write_baseline,
+)
+from .runner import DEFAULT_SEED, RunResult, Runner, canonical_value, execute_run, run_matrix, sweep_seeds
+from .scenario import (
+    ADVERSARIES,
+    DELAY_MODELS,
+    PROTOCOLS,
+    ProtocolSetup,
+    ScenarioSpec,
+    default_matrix,
+    find_scenarios,
+    make_params,
+    make_scenario,
+    scenario_matrix,
+    scenario_name,
+)
+
+__all__ = [
+    "ScenarioSpec",
+    "ProtocolSetup",
+    "PROTOCOLS",
+    "ADVERSARIES",
+    "DELAY_MODELS",
+    "make_scenario",
+    "make_params",
+    "scenario_matrix",
+    "scenario_name",
+    "default_matrix",
+    "find_scenarios",
+    "Runner",
+    "RunResult",
+    "run_matrix",
+    "execute_run",
+    "canonical_value",
+    "DEFAULT_SEED",
+    "sweep_seeds",
+    "aggregate",
+    "Distribution",
+    "ScenarioSummary",
+    "write_baseline",
+    "load_baseline",
+    "check_baseline",
+    "diff_against_baseline",
+    "summaries_to_json",
+    "results_to_json",
+    "growth_exponent",
+]

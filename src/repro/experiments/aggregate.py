@@ -1,0 +1,179 @@
+"""Sweep aggregation and JSON regression baselines.
+
+The runner produces one :class:`~repro.experiments.runner.RunResult` per
+``(scenario, seed)``; this module folds those records into per-scenario
+:class:`ScenarioSummary` statistics (message/word/latency distributions,
+violation and error counts) and diffs them against a stored JSON baseline so
+a sweep can act as a regression gate: correctness fields are compared
+exactly, complexity means within a relative tolerance.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import pathlib
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
+
+from .runner import RunResult
+
+BASELINE_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Distribution:
+    """Summary statistics of one per-run metric across a sweep."""
+
+    minimum: float
+    maximum: float
+    mean: float
+    median: float
+
+    @classmethod
+    def from_values(cls, values: Sequence[float]) -> "Distribution":
+        if not values:
+            return cls(0.0, 0.0, 0.0, 0.0)
+        ordered = sorted(values)
+        middle = len(ordered) // 2
+        if len(ordered) % 2:
+            median = float(ordered[middle])
+        else:
+            median = (ordered[middle - 1] + ordered[middle]) / 2.0
+        return cls(
+            minimum=float(ordered[0]),
+            maximum=float(ordered[-1]),
+            mean=sum(ordered) / len(ordered),
+            median=median,
+        )
+
+
+@dataclass
+class ScenarioSummary:
+    """Aggregated outcome of every run of one scenario in a sweep."""
+
+    scenario: str
+    runs: int = 0
+    errors: int = 0
+    incomplete: int = 0
+    agreement_violations: int = 0
+    validity_violations: int = 0
+    violation_total: int = 0
+    messages: Distribution = field(default_factory=lambda: Distribution(0, 0, 0, 0))
+    words: Distribution = field(default_factory=lambda: Distribution(0, 0, 0, 0))
+    latency: Distribution = field(default_factory=lambda: Distribution(0, 0, 0, 0))
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.errors == 0
+            and self.incomplete == 0
+            and self.agreement_violations == 0
+            and self.validity_violations == 0
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+
+def aggregate(results: Iterable[RunResult]) -> Dict[str, ScenarioSummary]:
+    """Fold run records into per-scenario summaries (keyed by scenario name)."""
+    grouped: Dict[str, List[RunResult]] = {}
+    for result in results:
+        grouped.setdefault(result.scenario, []).append(result)
+    summaries: Dict[str, ScenarioSummary] = {}
+    for scenario, runs in grouped.items():
+        finished = [run for run in runs if run.error is None]
+        summaries[scenario] = ScenarioSummary(
+            scenario=scenario,
+            runs=len(runs),
+            errors=sum(1 for run in runs if run.error is not None),
+            incomplete=sum(1 for run in finished if not run.completed),
+            agreement_violations=sum(1 for run in finished if not run.agreement),
+            validity_violations=sum(1 for run in finished if not run.validity_ok),
+            violation_total=sum(len(run.violations) for run in runs),
+            messages=Distribution.from_values([run.message_complexity for run in finished]),
+            words=Distribution.from_values([run.communication_complexity for run in finished]),
+            latency=Distribution.from_values([run.decision_latency for run in finished]),
+        )
+    return summaries
+
+
+def summaries_to_json(summaries: Dict[str, ScenarioSummary]) -> str:
+    """Canonical JSON for a set of summaries (stable across runs and hosts)."""
+    payload = {
+        "format_version": BASELINE_FORMAT_VERSION,
+        "scenarios": {name: summary.to_dict() for name, summary in summaries.items()},
+    }
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def write_baseline(path: Union[str, pathlib.Path], summaries: Dict[str, ScenarioSummary]) -> None:
+    """Store sweep summaries as a regression baseline."""
+    pathlib.Path(path).write_text(summaries_to_json(summaries) + "\n")
+
+
+def load_baseline(path: Union[str, pathlib.Path]) -> Dict[str, Dict[str, Any]]:
+    payload = json.loads(pathlib.Path(path).read_text())
+    if payload.get("format_version") != BASELINE_FORMAT_VERSION:
+        raise ValueError(
+            f"baseline {path} has format_version {payload.get('format_version')!r}, "
+            f"expected {BASELINE_FORMAT_VERSION}"
+        )
+    return payload["scenarios"]
+
+
+def diff_against_baseline(
+    summaries: Dict[str, ScenarioSummary],
+    baseline: Dict[str, Dict[str, Any]],
+    relative_tolerance: float = 0.2,
+) -> List[str]:
+    """Compare a sweep against a baseline; returns human-readable regressions.
+
+    Correctness counters (errors, incomplete runs, agreement/validity
+    violations) must not exceed the baseline.  Mean message and word
+    complexity may drift by at most ``relative_tolerance`` above it
+    (improvements never count as regressions).
+    """
+    regressions: List[str] = []
+    for name, stored in sorted(baseline.items()):
+        summary = summaries.get(name)
+        if summary is None:
+            regressions.append(f"{name}: scenario missing from the sweep")
+            continue
+        for counter in ("errors", "incomplete", "agreement_violations", "validity_violations"):
+            measured = getattr(summary, counter)
+            allowed = stored.get(counter, 0)
+            if measured > allowed:
+                regressions.append(f"{name}: {counter} rose from {allowed} to {measured}")
+        for metric in ("messages", "words"):
+            measured_mean = getattr(summary, metric).mean
+            stored_mean = stored.get(metric, {}).get("mean", 0.0)
+            ceiling = stored_mean * (1.0 + relative_tolerance)
+            if stored_mean and measured_mean > ceiling and not math.isclose(measured_mean, ceiling):
+                regressions.append(
+                    f"{name}: mean {metric} rose from {stored_mean:.1f} to {measured_mean:.1f} "
+                    f"(> {relative_tolerance:.0%} tolerance)"
+                )
+    return regressions
+
+
+def check_baseline(
+    summaries: Dict[str, ScenarioSummary],
+    path: Union[str, pathlib.Path],
+    relative_tolerance: float = 0.2,
+) -> List[str]:
+    """Load a baseline file and diff a sweep against it."""
+    return diff_against_baseline(summaries, load_baseline(path), relative_tolerance)
+
+
+def growth_exponent(sizes: Sequence[int], counts: Sequence[float]) -> float:
+    """Least-squares slope of ``log(count)`` vs ``log(n)`` (shared with analysis)."""
+    from ..analysis.complexity import fit_growth_exponent
+
+    return fit_growth_exponent(sizes, counts)
+
+
+def results_to_json(results: Sequence[RunResult]) -> str:
+    """Canonical JSON for raw run records (used by the CLI ``--output``)."""
+    return json.dumps([result.to_dict() for result in results], sort_keys=True, separators=(",", ":"))

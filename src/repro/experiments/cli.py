@@ -1,0 +1,147 @@
+"""Command-line interface for scenario sweeps: ``python -m repro.experiments``.
+
+Examples::
+
+    # Enumerate the registered scenario matrix
+    python -m repro.experiments --list
+
+    # Parallel smoke sweep over a slice of the matrix, 2 seeds per scenario
+    python -m repro.experiments run --protocol binary universal-authenticated \
+        --adversary silent crash --seeds 2 --parallel 4
+
+    # Full matrix, write (or check) a regression baseline
+    python -m repro.experiments run --seeds 3 --write-baseline baseline.json
+    python -m repro.experiments run --seeds 3 --check-baseline baseline.json
+
+The process exits non-zero when any run errors out, violates a correctness
+property, or regresses against the baseline — which makes the command usable
+directly as a CI gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import List, Optional, Sequence
+
+from .aggregate import aggregate, check_baseline, results_to_json, write_baseline
+from .runner import DEFAULT_SEED, Runner, sweep_seeds
+from .scenario import ADVERSARIES, DELAY_MODELS, PROTOCOLS, default_matrix, find_scenarios
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Sweep the protocol x adversary x delay scenario matrix.",
+    )
+    parser.add_argument("--list", action="store_true", help="enumerate registered scenarios and exit")
+    subparsers = parser.add_subparsers(dest="command")
+
+    run = subparsers.add_parser("run", help="execute a sweep")
+    run.add_argument("--scenario", nargs="+", default=None, help="explicit scenario names")
+    run.add_argument("--protocol", nargs="+", default=None, choices=sorted(PROTOCOLS))
+    run.add_argument("--adversary", nargs="+", default=None, choices=sorted(ADVERSARIES))
+    run.add_argument("--delay", nargs="+", default=None, choices=sorted(DELAY_MODELS))
+    run.add_argument(
+        "--seeds",
+        default="1",
+        help=f"either a count (seeds {DEFAULT_SEED}, {DEFAULT_SEED + 1}, ...) or a comma list",
+    )
+    run.add_argument("--parallel", type=int, default=None, metavar="W", help="worker processes (default: serial)")
+    run.add_argument("--timeout", type=float, default=None, help="per-run wall-clock timeout in seconds")
+    run.add_argument("--output", type=pathlib.Path, default=None, help="write raw RunResult records as JSON")
+    run.add_argument("--write-baseline", type=pathlib.Path, default=None, help="store the sweep summary")
+    run.add_argument("--check-baseline", type=pathlib.Path, default=None, help="diff against a stored summary")
+    run.add_argument("--tolerance", type=float, default=0.2, help="relative complexity tolerance for the diff")
+    run.add_argument("--quiet", action="store_true", help="only print failures")
+    return parser
+
+
+def _parse_seeds(raw: str) -> List[int]:
+    if "," in raw:
+        return [int(token) for token in raw.split(",") if token.strip()]
+    return list(sweep_seeds(int(raw)))
+
+
+def _select_scenarios(args: argparse.Namespace):
+    if args.scenario:
+        return find_scenarios(args.scenario)
+    matrix = default_matrix()
+    return [
+        spec
+        for spec in matrix
+        if (args.protocol is None or spec.protocol in args.protocol)
+        and (args.adversary is None or spec.adversary in args.adversary)
+        and (args.delay is None or spec.delay in args.delay)
+    ]
+
+
+def _command_list() -> int:
+    matrix = default_matrix()
+    print(f"{len(matrix)} registered scenarios (protocol+adversary+delay):")
+    for spec in matrix:
+        print(f"  {spec.describe()}")
+    print(
+        f"registries: {len(PROTOCOLS)} protocols, {len(ADVERSARIES)} adversaries, "
+        f"{len(DELAY_MODELS)} delay models"
+    )
+    return 0
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    try:
+        scenarios = _select_scenarios(args)
+        seeds = _parse_seeds(args.seeds)
+    except (KeyError, ValueError) as exc:
+        message = exc.args[0] if exc.args else str(exc)
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+    if not scenarios:
+        print("no scenarios selected", file=sys.stderr)
+        return 2
+    results = Runner(parallel=args.parallel, timeout=args.timeout).run(scenarios, seeds)
+    summaries = aggregate(results)
+
+    failures = [result for result in results if not result.ok]
+    if not args.quiet:
+        print(f"{len(results)} runs over {len(scenarios)} scenarios x {len(seeds)} seeds")
+        for name in sorted(summaries):
+            summary = summaries[name]
+            status = "ok" if summary.ok else "FAIL"
+            print(
+                f"  [{status}] {name}: msgs mean={summary.messages.mean:.1f} "
+                f"words mean={summary.words.mean:.1f} latency mean={summary.latency.mean:.1f}"
+            )
+    for result in failures:
+        reason = result.error or "; ".join(result.violations) or "incomplete"
+        print(f"  FAILED {result.scenario} seed={result.seed}: {reason}", file=sys.stderr)
+
+    if args.output is not None:
+        args.output.write_text(results_to_json(results) + "\n")
+        print(f"wrote {len(results)} run records to {args.output}")
+
+    exit_code = 1 if failures else 0
+    if args.check_baseline is not None:
+        regressions = check_baseline(summaries, args.check_baseline, args.tolerance)
+        for regression in regressions:
+            print(f"  REGRESSION {regression}", file=sys.stderr)
+        if regressions:
+            exit_code = 1
+        elif not args.quiet:
+            print(f"baseline {args.check_baseline}: no regressions")
+    if args.write_baseline is not None:
+        write_baseline(args.write_baseline, summaries)
+        print(f"wrote baseline for {len(summaries)} scenarios to {args.write_baseline}")
+    return exit_code
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.list or args.command is None:
+        return _command_list()
+    if args.command == "run":
+        return _command_run(args)
+    parser.error(f"unknown command {args.command!r}")
+    return 2  # pragma: no cover - parser.error raises

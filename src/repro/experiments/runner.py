@@ -1,0 +1,259 @@
+"""Deterministic sweep execution: serial or ``multiprocessing`` fan-out.
+
+:func:`execute_run` turns one ``(scenario, seed)`` pair into a
+:class:`RunResult`.  The result is **pure data derived only from the pair**:
+no wall-clock timestamps, no host-dependent fields, and canonically ordered
+containers, so a serial sweep and a parallel sweep over the same pairs
+produce byte-identical :meth:`RunResult.canonical_json` — the guarantee the
+determinism test suite pins down and every regression baseline relies on.
+
+:class:`Runner` fans a sweep out over a ``multiprocessing`` pool (or runs it
+in-process) and always returns results in ``scenarios × seeds`` order.  An
+optional per-run wall-clock timeout is enforced with ``SIGALRM`` inside the
+worker, so a hung run is reported as an ``error`` record instead of stalling
+the sweep.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import signal
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..sim.simulation import Simulation, SimulationError
+from .scenario import ADVERSARIES, DELAY_MODELS, PROTOCOLS, ScenarioSpec
+
+DEFAULT_SEED = 2023
+"""The shared seed used by benchmarks and smoke sweeps (one seeding path)."""
+
+
+def sweep_seeds(count: int, base: int = DEFAULT_SEED) -> Tuple[int, ...]:
+    """The canonical seed sequence for a sweep of ``count`` runs per scenario."""
+    if count < 1:
+        raise ValueError("a sweep needs at least one seed")
+    return tuple(base + offset for offset in range(count))
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Outcome of one ``(scenario, seed)`` execution.
+
+    Every field is a deterministic function of the pair; containers are
+    canonically ordered, which makes the record safe to hash, diff and store
+    as a regression baseline.
+    """
+
+    scenario: str
+    seed: int
+    completed: bool
+    agreement: bool
+    validity_ok: bool
+    violations: Tuple[str, ...]
+    decisions: Tuple[Tuple[int, str], ...]
+    message_complexity: int
+    communication_complexity: int
+    total_messages: int
+    total_words: int
+    byzantine_messages: int
+    decision_latency: float
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        """True when the run terminated correctly with no violations."""
+        return self.error is None and self.completed and not self.violations
+
+    def to_dict(self) -> Dict[str, Any]:
+        data = asdict(self)
+        data["violations"] = list(self.violations)
+        data["decisions"] = [list(pair) for pair in self.decisions]
+        return data
+
+    def canonical_json(self) -> str:
+        """A canonical serialisation: byte-identical for identical runs."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+
+def canonical_value(value: Any) -> str:
+    """Render a decision value as a stable string (repr for exotic types)."""
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return repr(value)
+    if isinstance(value, (list, tuple)):
+        return "(" + ", ".join(canonical_value(item) for item in value) + ")"
+    stable_fields = getattr(value, "stable_fields", None)
+    if callable(stable_fields):
+        return canonical_value(stable_fields())
+    pairs = getattr(value, "pairs", None)
+    if pairs is not None:
+        return canonical_value([(pair.process, pair.proposal) for pair in pairs])
+    return repr(value)
+
+
+def execute_run(spec: ScenarioSpec, seed: int) -> RunResult:
+    """Execute one scenario with one seed and return its deterministic record."""
+    system = spec.system()
+    setup = PROTOCOLS[spec.protocol](spec, system, seed)
+    faulty, faulty_factory = ADVERSARIES[spec.adversary](spec, system, setup.factory, seed)
+    delay_model = DELAY_MODELS[spec.delay](spec, seed)
+    simulation = Simulation(system, delay_model=delay_model, seed=seed)
+    simulation.populate(setup.factory, faulty=faulty, faulty_factory=faulty_factory)
+
+    error: Optional[str] = None
+    try:
+        simulation.run_until_all_correct_decide(until=spec.time_limit, max_events=spec.max_events)
+    except SimulationError as exc:
+        error = f"SimulationError: {exc}"
+    except _RunTimeout:
+        raise
+    except Exception as exc:  # a protocol bug is a result, not a sweep abort
+        error = f"{type(exc).__name__}: {exc}"
+
+    violations: Tuple[str, ...] = ()
+    if error is None:
+        try:
+            violations = tuple(setup.check(simulation, setup.proposals))
+        except _RunTimeout:
+            raise
+        except Exception as exc:  # a checker crash on a malformed decision is a result too
+            error = f"checker {type(exc).__name__}: {exc}"
+    try:
+        decisions = tuple(
+            (pid, canonical_value(value)) for pid, value in sorted(simulation.decisions().items())
+        )
+    except _RunTimeout:
+        raise
+    except Exception as exc:
+        decisions = ()
+        error = error or f"decision canonicalisation {type(exc).__name__}: {exc}"
+    metrics = simulation.metrics
+    return RunResult(
+        scenario=spec.name,
+        seed=seed,
+        completed=simulation.all_correct_decided(),
+        agreement=simulation.agreement_holds(),
+        validity_ok=not any("validity" in violation for violation in violations),
+        violations=violations,
+        decisions=decisions,
+        message_complexity=metrics.message_complexity,
+        communication_complexity=metrics.communication_complexity,
+        total_messages=metrics.total_messages,
+        total_words=metrics.total_words,
+        byzantine_messages=metrics.byzantine_messages,
+        decision_latency=metrics.decision_latency(),
+        error=error,
+    )
+
+
+# ----------------------------------------------------------------------
+# Per-run wall-clock timeout (SIGALRM inside the executing process)
+# ----------------------------------------------------------------------
+class _RunTimeout(Exception):
+    pass
+
+
+_ALARM_ARMED = False
+# Guards against a late SIGALRM delivered after the run already finished: the
+# handler only raises while a run is armed, so a stray alarm during cleanup
+# can never escape _execute_with_timeout and abort the sweep.
+
+
+def _raise_timeout(signum, frame):  # pragma: no cover - signal handler
+    if _ALARM_ARMED:
+        raise _RunTimeout()
+
+
+def _timeout_result(spec: ScenarioSpec, seed: int, timeout: float) -> RunResult:
+    return RunResult(
+        scenario=spec.name,
+        seed=seed,
+        completed=False,
+        agreement=True,
+        validity_ok=True,
+        violations=(),
+        decisions=(),
+        message_complexity=0,
+        communication_complexity=0,
+        total_messages=0,
+        total_words=0,
+        byzantine_messages=0,
+        decision_latency=0.0,
+        error=f"timeout: run exceeded {timeout}s wall clock",
+    )
+
+
+def _execute_with_timeout(item: Tuple[ScenarioSpec, int, Optional[float]]) -> RunResult:
+    global _ALARM_ARMED
+    spec, seed, timeout = item
+    if timeout is None or not hasattr(signal, "SIGALRM"):
+        return execute_run(spec, seed)
+    previous = signal.signal(signal.SIGALRM, _raise_timeout)
+    _ALARM_ARMED = True
+    signal.setitimer(signal.ITIMER_REAL, timeout)
+    try:
+        result = execute_run(spec, seed)
+        _ALARM_ARMED = False
+        return result
+    except _RunTimeout:
+        return _timeout_result(spec, seed, timeout)
+    finally:
+        _ALARM_ARMED = False
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+class Runner:
+    """Executes scenario sweeps, serially or across worker processes.
+
+    Args:
+        parallel: Number of worker processes; ``None`` or ``0``/``1`` runs
+            serially in-process.  Results are identical either way.
+        timeout: Optional per-run wall-clock timeout in seconds; a run that
+            exceeds it yields an ``error`` record instead of hanging the
+            sweep.  Enforced via ``SIGALRM``, so on platforms without it
+            (Windows) the timeout is ignored with a warning.
+    """
+
+    def __init__(self, parallel: Optional[int] = None, timeout: Optional[float] = None):
+        if parallel is not None and parallel < 0:
+            raise ValueError("parallel must be a non-negative worker count")
+        if timeout is not None and not hasattr(signal, "SIGALRM"):
+            import warnings
+
+            warnings.warn(
+                "per-run timeouts need signal.SIGALRM, which this platform lacks; "
+                "runs will not be time-limited",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        self.parallel = parallel
+        self.timeout = timeout
+
+    def run(
+        self, scenarios: Sequence[ScenarioSpec], seeds: Iterable[int] = (DEFAULT_SEED,)
+    ) -> List[RunResult]:
+        """Run every scenario with every seed, in ``scenarios × seeds`` order."""
+        seed_list = list(seeds)
+        items = [(spec, seed, self.timeout) for spec in scenarios for seed in seed_list]
+        if not items:
+            return []
+        if not self.parallel or self.parallel <= 1 or len(items) == 1:
+            return [_execute_with_timeout(item) for item in items]
+        # Fork keeps the parent's interpreter state (including the hash seed),
+        # which is what makes parallel results byte-identical to serial ones.
+        method = "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+        context = multiprocessing.get_context(method)
+        workers = min(self.parallel, len(items))
+        with context.Pool(processes=workers) as pool:
+            return pool.map(_execute_with_timeout, items)
+
+
+def run_matrix(
+    scenarios: Sequence[ScenarioSpec],
+    seeds: Iterable[int] = (DEFAULT_SEED,),
+    parallel: Optional[int] = None,
+    timeout: Optional[float] = None,
+) -> List[RunResult]:
+    """Convenience wrapper: one call, one sweep."""
+    return Runner(parallel=parallel, timeout=timeout).run(scenarios, seeds)

@@ -1,0 +1,396 @@
+"""Scenario specifications and the protocol × adversary × delay registry.
+
+The paper's claims are quantified over *executions*: a protocol (one of the
+consensus stacks in :mod:`repro.consensus`), an adversary behaviour (one of
+the fault injectors in :mod:`repro.sim.adversary`) and a network delay model
+(:mod:`repro.sim.network`).  A :class:`ScenarioSpec` names one point of that
+space as plain, picklable data; the three registries below map the spec's
+string keys to builder functions, and :func:`default_matrix` composes every
+registered combination into the named cartesian scenario matrix that the
+runner sweeps.
+
+Design rules that make sweeps reproducible:
+
+* a spec carries **no live objects** — only strings, numbers and tuples — so
+  it crosses process boundaries unchanged and two equal specs always build
+  the same execution;
+* every source of randomness (delay jitter, key generation, message
+  dropping, proposal assignment) is derived from the single per-run ``seed``,
+  so ``(scenario, seed)`` fully determines the execution.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, NamedTuple, Optional, Sequence, Tuple
+
+from ..consensus.binary import BinaryConsensus
+from ..consensus.quad import Quad
+from ..consensus.universal_protocol import universal_process_factory
+from ..core.input_config import InputConfiguration
+from ..core.system import SystemConfig
+from ..core.universal import UniversalSpec
+from ..sim.adversary import crash_factory, dropping_factory, silent_factory
+from ..sim.network import DelayModel, SynchronousDelayModel
+from ..sim.process import Process
+from ..sim.simulation import Simulation
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One named point of the protocol × adversary × delay scenario space.
+
+    Attributes:
+        name: Unique scenario identifier (``protocol+adversary+delay`` by
+            convention, see :func:`scenario_name`).
+        protocol: Key into :data:`PROTOCOLS`.
+        adversary: Key into :data:`ADVERSARIES`.
+        delay: Key into :data:`DELAY_MODELS`.
+        n: System size.
+        t: Fault threshold (the adversary corrupts the last ``t`` indices).
+        property_key: Validity property for the Universal-based protocols.
+        params: Extra knobs as a sorted ``(key, value)`` tuple so the spec
+            stays hashable and picklable (see :meth:`param`).
+        time_limit: Simulated-time horizon for one run.
+        max_events: Safety bound on processed events for one run.
+    """
+
+    name: str
+    protocol: str
+    adversary: str = "none"
+    delay: str = "synchronous"
+    n: int = 4
+    t: int = 1
+    property_key: str = "strong"
+    params: Tuple[Tuple[str, Any], ...] = ()
+    time_limit: float = 10_000.0
+    max_events: int = 500_000
+
+    def param(self, key: str, default: Any = None) -> Any:
+        """Look up an extra parameter by name."""
+        for item_key, value in self.params:
+            if item_key == key:
+                return value
+        return default
+
+    def with_(self, **changes: Any) -> "ScenarioSpec":
+        """A copy of the spec with some fields replaced."""
+        return dataclasses.replace(self, **changes)
+
+    def system(self) -> SystemConfig:
+        return SystemConfig(self.n, self.t)
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}: protocol={self.protocol} adversary={self.adversary} "
+            f"delay={self.delay} n={self.n} t={self.t} property={self.property_key}"
+        )
+
+
+def make_params(mapping: Optional[Dict[str, Any]] = None) -> Tuple[Tuple[str, Any], ...]:
+    """Normalise a parameter mapping into the canonical sorted tuple form."""
+    if not mapping:
+        return ()
+    return tuple(sorted(mapping.items()))
+
+
+class ProtocolSetup(NamedTuple):
+    """What a protocol builder hands to the runner for one execution."""
+
+    factory: Callable[[int, Simulation], Process]
+    proposals: Dict[int, Any]
+    check: Callable[[Simulation, Dict[int, Any]], List[str]]
+
+
+ProtocolBuilder = Callable[[ScenarioSpec, SystemConfig, int], ProtocolSetup]
+AdversaryBuilder = Callable[
+    [ScenarioSpec, SystemConfig, Callable[[int, Simulation], Process], int],
+    Tuple[Tuple[int, ...], Optional[Callable[[int, Simulation], Process]]],
+]
+DelayBuilder = Callable[[ScenarioSpec, int], DelayModel]
+
+PROTOCOLS: Dict[str, ProtocolBuilder] = {}
+ADVERSARIES: Dict[str, AdversaryBuilder] = {}
+DELAY_MODELS: Dict[str, DelayBuilder] = {}
+
+
+def register_protocol(key: str) -> Callable[[ProtocolBuilder], ProtocolBuilder]:
+    def decorate(builder: ProtocolBuilder) -> ProtocolBuilder:
+        if key in PROTOCOLS:
+            raise ValueError(f"protocol {key!r} already registered")
+        PROTOCOLS[key] = builder
+        return builder
+
+    return decorate
+
+
+def register_adversary(key: str) -> Callable[[AdversaryBuilder], AdversaryBuilder]:
+    def decorate(builder: AdversaryBuilder) -> AdversaryBuilder:
+        if key in ADVERSARIES:
+            raise ValueError(f"adversary {key!r} already registered")
+        ADVERSARIES[key] = builder
+        return builder
+
+    return decorate
+
+
+def register_delay_model(key: str) -> Callable[[DelayBuilder], DelayBuilder]:
+    def decorate(builder: DelayBuilder) -> DelayBuilder:
+        if key in DELAY_MODELS:
+            raise ValueError(f"delay model {key!r} already registered")
+        DELAY_MODELS[key] = builder
+        return builder
+
+    return decorate
+
+
+# ----------------------------------------------------------------------
+# Proposal assignments (deterministic functions of scenario and seed)
+# ----------------------------------------------------------------------
+def _proposals(spec: ScenarioSpec, seed: int, spread: int) -> Dict[int, Any]:
+    override = spec.param("proposals")
+    if override is not None:
+        return dict(override)
+    return {pid: (pid + seed) % spread for pid in range(spec.n)}
+
+
+# ----------------------------------------------------------------------
+# Protocols
+# ----------------------------------------------------------------------
+class _BinaryProcess(Process):
+    def __init__(self, pid: int, simulation: Simulation, proposal: int):
+        super().__init__(pid, simulation)
+        self.proposal = proposal
+
+    def on_start(self) -> None:
+        self.consensus = BinaryConsensus(self, on_decide=self.decide)
+        self.consensus.propose(self.proposal)
+
+
+@register_protocol("binary")
+def _build_binary(spec: ScenarioSpec, system: SystemConfig, seed: int) -> ProtocolSetup:
+    proposals = {pid: value % 2 for pid, value in _proposals(spec, seed, 2).items()}
+
+    def check(simulation: Simulation, props: Dict[int, Any]) -> List[str]:
+        violations = _common_violations(simulation)
+        correct_proposals = {props[pid] for pid in simulation.correct_processes}
+        for pid, value in simulation.decisions().items():
+            if value not in (0, 1):
+                violations.append(f"validity violated: process {pid} decided non-binary value {value!r}")
+            elif len(correct_proposals) == 1 and value not in correct_proposals:
+                violations.append(
+                    f"validity violated: unanimous proposal {correct_proposals} "
+                    f"but process {pid} decided {value!r}"
+                )
+        return violations
+
+    return ProtocolSetup(
+        factory=lambda pid, simulation: _BinaryProcess(pid, simulation, proposals[pid]),
+        proposals=proposals,
+        check=check,
+    )
+
+
+class _QuadProcess(Process):
+    """Runs Quad directly with a trivially verifiable proof scheme."""
+
+    def __init__(self, pid: int, simulation: Simulation, value: Any):
+        super().__init__(pid, simulation)
+        self.value = value
+
+    def on_start(self) -> None:
+        self.quad = Quad(self, verify=_quad_verify, on_decide=self.decide)
+        self.quad.propose((self.value, ("ok", self.value)))
+
+
+def _quad_verify(value: Any, proof: Any) -> bool:
+    return proof == ("ok", value)
+
+
+@register_protocol("quad")
+def _build_quad(spec: ScenarioSpec, system: SystemConfig, seed: int) -> ProtocolSetup:
+    proposals = {pid: f"v{value}" for pid, value in _proposals(spec, seed, 3).items()}
+
+    def check(simulation: Simulation, props: Dict[int, Any]) -> List[str]:
+        violations = _common_violations(simulation)
+        for pid, decided in simulation.decisions().items():
+            value, proof = decided
+            if not _quad_verify(value, proof):
+                violations.append(f"validity violated: process {pid} decided unverifiable pair {decided!r}")
+        return violations
+
+    return ProtocolSetup(
+        factory=lambda pid, simulation: _QuadProcess(pid, simulation, proposals[pid]),
+        proposals=proposals,
+        check=check,
+    )
+
+
+def _build_universal(spec: ScenarioSpec, system: SystemConfig, seed: int, backend: str) -> ProtocolSetup:
+    proposals = _proposals(spec, seed, 3)
+    universal_spec = UniversalSpec.for_standard_property(system, spec.property_key)
+
+    def check(simulation: Simulation, props: Dict[int, Any]) -> List[str]:
+        violations = _common_violations(simulation)
+        configuration = InputConfiguration.from_mapping(
+            {pid: props[pid] for pid in simulation.correct_processes}
+        )
+        for pid, value in simulation.decisions().items():
+            if not universal_spec.validity.is_admissible(configuration, value):
+                violations.append(
+                    f"validity violated: process {pid} decided {value!r}, inadmissible for "
+                    f"{spec.property_key!r} given the correct proposals"
+                )
+        return violations
+
+    return ProtocolSetup(
+        factory=universal_process_factory(universal_spec, proposals, backend=backend),
+        proposals=proposals,
+        check=check,
+    )
+
+
+@register_protocol("universal-authenticated")
+def _build_universal_authenticated(spec: ScenarioSpec, system: SystemConfig, seed: int) -> ProtocolSetup:
+    return _build_universal(spec, system, seed, "authenticated")
+
+
+@register_protocol("universal-non-authenticated")
+def _build_universal_non_authenticated(spec: ScenarioSpec, system: SystemConfig, seed: int) -> ProtocolSetup:
+    return _build_universal(spec, system, seed, "non-authenticated")
+
+
+@register_protocol("universal-compact")
+def _build_universal_compact(spec: ScenarioSpec, system: SystemConfig, seed: int) -> ProtocolSetup:
+    return _build_universal(spec, system, seed, "compact")
+
+
+def _common_violations(simulation: Simulation) -> List[str]:
+    violations: List[str] = []
+    if not simulation.all_correct_decided():
+        undecided = sorted(
+            pid for pid in simulation.correct_processes if not simulation.processes[pid].has_decided()
+        )
+        violations.append(f"termination violated: correct processes {undecided} never decided")
+    if not simulation.agreement_holds():
+        violations.append(f"agreement violated: decisions {simulation.decisions()!r}")
+    return violations
+
+
+# ----------------------------------------------------------------------
+# Adversaries (all corrupt the last ``t`` process indices)
+# ----------------------------------------------------------------------
+def _faulty_indices(system: SystemConfig) -> Tuple[int, ...]:
+    return tuple(range(system.n - system.t, system.n))
+
+
+@register_adversary("none")
+def _build_no_adversary(spec, system, correct_factory, seed):
+    return (), None
+
+
+@register_adversary("silent")
+def _build_silent(spec, system, correct_factory, seed):
+    return _faulty_indices(system), silent_factory
+
+
+@register_adversary("crash")
+def _build_crash(spec, system, correct_factory, seed):
+    crash_time = spec.param("crash_time", 2.0)
+    return _faulty_indices(system), crash_factory(correct_factory, crash_time=crash_time)
+
+
+@register_adversary("dropping")
+def _build_dropping(spec, system, correct_factory, seed):
+    drop_probability = spec.param("drop_probability", 0.3)
+    return _faulty_indices(system), dropping_factory(correct_factory, drop_probability, seed=seed)
+
+
+# ----------------------------------------------------------------------
+# Delay models
+# ----------------------------------------------------------------------
+@register_delay_model("synchronous")
+def _build_synchronous(spec: ScenarioSpec, seed: int) -> DelayModel:
+    return SynchronousDelayModel(delta=spec.param("delta", 1.0), seed=seed)
+
+
+@register_delay_model("eventual")
+def _build_eventual(spec: ScenarioSpec, seed: int) -> DelayModel:
+    return DelayModel(gst=spec.param("gst", 5.0), delta=spec.param("delta", 1.0), seed=seed)
+
+
+# ----------------------------------------------------------------------
+# Matrix composition
+# ----------------------------------------------------------------------
+def scenario_name(protocol: str, adversary: str, delay: str) -> str:
+    return f"{protocol}+{adversary}+{delay}"
+
+
+def make_scenario(
+    protocol: str,
+    adversary: str = "none",
+    delay: str = "synchronous",
+    n: int = 4,
+    t: int = 1,
+    property_key: str = "strong",
+    name: Optional[str] = None,
+    params: Optional[Dict[str, Any]] = None,
+    time_limit: float = 10_000.0,
+    max_events: int = 500_000,
+) -> ScenarioSpec:
+    """Build a validated :class:`ScenarioSpec` from registry keys."""
+    for key, registry, label in (
+        (protocol, PROTOCOLS, "protocol"),
+        (adversary, ADVERSARIES, "adversary"),
+        (delay, DELAY_MODELS, "delay model"),
+    ):
+        if key not in registry:
+            raise KeyError(f"unknown {label} {key!r}; registered: {sorted(registry)}")
+    return ScenarioSpec(
+        name=name or scenario_name(protocol, adversary, delay),
+        protocol=protocol,
+        adversary=adversary,
+        delay=delay,
+        n=n,
+        t=t,
+        property_key=property_key,
+        params=make_params(params),
+        time_limit=time_limit,
+        max_events=max_events,
+    )
+
+
+def scenario_matrix(
+    protocols: Optional[Sequence[str]] = None,
+    adversaries: Optional[Sequence[str]] = None,
+    delays: Optional[Sequence[str]] = None,
+    n: int = 4,
+    t: int = 1,
+    property_key: str = "strong",
+) -> List[ScenarioSpec]:
+    """The named cartesian matrix over the given (default: all registered) keys."""
+    specs = [
+        make_scenario(protocol, adversary, delay, n=n, t=t, property_key=property_key)
+        for protocol in (protocols if protocols is not None else sorted(PROTOCOLS))
+        for adversary in (adversaries if adversaries is not None else sorted(ADVERSARIES))
+        for delay in (delays if delays is not None else sorted(DELAY_MODELS))
+    ]
+    names = [spec.name for spec in specs]
+    if len(set(names)) != len(names):
+        raise ValueError("scenario matrix contains duplicate names")
+    return specs
+
+
+def default_matrix() -> List[ScenarioSpec]:
+    """Every registered protocol × adversary × delay-model combination (n=4, t=1)."""
+    return scenario_matrix()
+
+
+def find_scenarios(names: Sequence[str]) -> List[ScenarioSpec]:
+    """Resolve scenario names against the default matrix."""
+    by_name = {spec.name: spec for spec in default_matrix()}
+    missing = [name for name in names if name not in by_name]
+    if missing:
+        raise KeyError(f"unknown scenarios {missing}; use --list to enumerate")
+    return [by_name[name] for name in names]

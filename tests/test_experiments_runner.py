@@ -1,0 +1,177 @@
+"""Golden-trace determinism tests for the experiment runner.
+
+The repo-wide guarantee the sweeps rely on: a run is a pure function of its
+``(scenario, seed)`` pair.  These tests pin that down at the byte level —
+identical pairs produce byte-identical ``RunResult`` records whether the
+sweep is executed serially, serially again, or fanned out over a
+``multiprocessing`` pool — and cover the runner's ordering, timeout/error
+records, aggregation and baseline-diff behaviour.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments import (
+    DEFAULT_SEED,
+    Runner,
+    RunResult,
+    aggregate,
+    check_baseline,
+    diff_against_baseline,
+    execute_run,
+    load_baseline,
+    make_scenario,
+    run_matrix,
+    summaries_to_json,
+    sweep_seeds,
+    write_baseline,
+)
+
+# A deliberately heterogeneous slice of the matrix: three protocols, three
+# adversaries, both delay models.
+SWEEP = [
+    make_scenario("universal-authenticated", "silent", "synchronous"),
+    make_scenario("universal-authenticated", "crash", "eventual"),
+    make_scenario("binary", "dropping", "eventual"),
+    make_scenario("quad", "silent", "synchronous"),
+]
+SEEDS = (DEFAULT_SEED, DEFAULT_SEED + 1)
+
+
+def canonical_trace(results):
+    return "\n".join(result.canonical_json() for result in results)
+
+
+class TestDeterminism:
+    def test_same_pair_reruns_byte_identical(self):
+        for spec in SWEEP:
+            first = execute_run(spec, DEFAULT_SEED)
+            second = execute_run(spec, DEFAULT_SEED)
+            assert first == second
+            assert first.canonical_json() == second.canonical_json()
+
+    def test_serial_sweep_reruns_byte_identical(self):
+        first = Runner().run(SWEEP, SEEDS)
+        second = Runner().run(SWEEP, SEEDS)
+        assert canonical_trace(first) == canonical_trace(second)
+
+    def test_parallel_sweep_byte_identical_to_serial(self):
+        serial = Runner().run(SWEEP, SEEDS)
+        parallel = Runner(parallel=3).run(SWEEP, SEEDS)
+        assert canonical_trace(parallel) == canonical_trace(serial)
+
+    def test_different_seeds_differ(self):
+        spec = SWEEP[0]
+        runs = {seed: execute_run(spec, seed) for seed in sweep_seeds(4)}
+        latencies = {run.decision_latency for run in runs.values()}
+        assert len(latencies) > 1, "seeds must actually steer the execution"
+
+    def test_canonical_json_is_valid_sorted_json(self):
+        result = execute_run(SWEEP[0], DEFAULT_SEED)
+        payload = json.loads(result.canonical_json())
+        assert list(payload) == sorted(payload)
+        assert payload["scenario"] == SWEEP[0].name
+        assert payload["seed"] == DEFAULT_SEED
+
+
+class TestRunner:
+    def test_results_in_scenario_times_seed_order(self):
+        results = Runner(parallel=2).run(SWEEP, SEEDS)
+        expected = [(spec.name, seed) for spec in SWEEP for seed in SEEDS]
+        assert [(result.scenario, result.seed) for result in results] == expected
+
+    def test_all_runs_ok_on_the_healthy_sweep(self):
+        results = run_matrix(SWEEP, SEEDS, parallel=2)
+        assert all(result.ok for result in results)
+        assert all(result.completed and result.agreement and result.validity_ok for result in results)
+
+    def test_empty_sweep(self):
+        assert Runner(parallel=4).run([], SEEDS) == []
+
+    def test_negative_parallel_rejected(self):
+        with pytest.raises(ValueError):
+            Runner(parallel=-1)
+
+    def test_exhausted_event_budget_is_an_error_record_not_a_crash(self):
+        starved = SWEEP[0].with_(name="starved", max_events=5)
+        serial = Runner().run([starved], SEEDS)
+        parallel = Runner(parallel=2).run([starved], SEEDS)
+        for result in serial:
+            assert result.error is not None and "SimulationError" in result.error
+            assert not result.completed and not result.ok
+        assert canonical_trace(serial) == canonical_trace(parallel)
+
+    def test_wall_clock_timeout_yields_error_record(self):
+        # The signature-free backend costs O(n^4) messages, so a large system
+        # takes many seconds of wall clock; the timeout must cut it short.
+        spec = make_scenario(
+            "universal-non-authenticated", "silent", "synchronous", n=31, t=10
+        ).with_(name="slow", max_events=10**9)
+        results = Runner(timeout=0.1).run([spec], (DEFAULT_SEED,))
+        assert len(results) == 1
+        assert results[0].error is not None
+        assert "timeout" in results[0].error
+
+
+class TestAggregation:
+    def test_summary_counts_and_determinism(self):
+        results = Runner().run(SWEEP, SEEDS)
+        summaries = aggregate(results)
+        assert set(summaries) == {spec.name for spec in SWEEP}
+        for spec in SWEEP:
+            summary = summaries[spec.name]
+            assert summary.runs == len(SEEDS)
+            assert summary.ok
+            assert summary.messages.minimum <= summary.messages.mean <= summary.messages.maximum
+        assert summaries_to_json(summaries) == summaries_to_json(aggregate(Runner(parallel=2).run(SWEEP, SEEDS)))
+
+    def test_error_runs_are_counted_not_averaged(self):
+        starved = SWEEP[0].with_(name="starved", max_events=5)
+        summaries = aggregate(Runner().run([starved], SEEDS))
+        summary = summaries["starved"]
+        assert summary.errors == len(SEEDS)
+        assert not summary.ok
+        assert summary.messages.mean == 0.0
+
+
+class TestBaseline:
+    def test_roundtrip_no_regressions(self, tmp_path):
+        results = Runner().run(SWEEP, SEEDS)
+        summaries = aggregate(results)
+        path = tmp_path / "baseline.json"
+        write_baseline(path, summaries)
+        assert load_baseline(path).keys() == summaries.keys()
+        assert check_baseline(summaries, path) == []
+
+    def test_complexity_regression_detected(self, tmp_path):
+        summaries = aggregate(Runner().run(SWEEP, SEEDS))
+        baseline = json.loads(summaries_to_json(summaries))["scenarios"]
+        shrunk = dict(baseline)
+        name = SWEEP[0].name
+        shrunk[name] = dict(shrunk[name])
+        shrunk[name]["messages"] = dict(shrunk[name]["messages"], mean=shrunk[name]["messages"]["mean"] / 2.0)
+        regressions = diff_against_baseline(summaries, shrunk, relative_tolerance=0.2)
+        assert any(name in regression and "messages" in regression for regression in regressions)
+
+    def test_correctness_regression_detected(self):
+        summaries = aggregate(Runner().run(SWEEP, SEEDS))
+        baseline = json.loads(summaries_to_json(summaries))["scenarios"]
+        summaries[SWEEP[0].name].errors += 1
+        regressions = diff_against_baseline(summaries, baseline)
+        assert any("errors" in regression for regression in regressions)
+
+    def test_missing_scenario_detected(self):
+        summaries = aggregate(Runner().run(SWEEP, SEEDS))
+        baseline = json.loads(summaries_to_json(summaries))["scenarios"]
+        del summaries[SWEEP[-1].name]
+        regressions = diff_against_baseline(summaries, baseline)
+        assert any("missing" in regression for regression in regressions)
+
+    def test_improvements_are_not_regressions(self, tmp_path):
+        summaries = aggregate(Runner().run(SWEEP, SEEDS))
+        baseline = json.loads(summaries_to_json(summaries))["scenarios"]
+        for stored in baseline.values():
+            stored["messages"] = dict(stored["messages"], mean=stored["messages"]["mean"] * 10)
+            stored["errors"] = 5
+        assert diff_against_baseline(summaries, baseline) == []

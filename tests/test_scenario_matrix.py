@@ -1,0 +1,109 @@
+"""Registry-composition tests: the full scenario matrix is runnable.
+
+Every registered protocol × adversary × delay-model combination must
+instantiate from pure-data specs and complete a short run without violating
+agreement, validity or termination — that is what entitles the experiment
+sweeps to quantify over the whole matrix.
+"""
+
+import pytest
+
+from repro.experiments import (
+    ADVERSARIES,
+    DEFAULT_SEED,
+    DELAY_MODELS,
+    PROTOCOLS,
+    default_matrix,
+    execute_run,
+    find_scenarios,
+    make_scenario,
+    scenario_matrix,
+    scenario_name,
+)
+
+MATRIX = default_matrix()
+
+
+class TestRegistryComposition:
+    def test_matrix_is_the_full_cartesian_product(self):
+        assert len(MATRIX) == len(PROTOCOLS) * len(ADVERSARIES) * len(DELAY_MODELS)
+        names = {spec.name for spec in MATRIX}
+        assert len(names) == len(MATRIX)
+        for protocol in PROTOCOLS:
+            for adversary in ADVERSARIES:
+                for delay in DELAY_MODELS:
+                    assert scenario_name(protocol, adversary, delay) in names
+
+    def test_matrix_is_rich_enough_for_the_paper_claims(self):
+        assert len(MATRIX) >= 12
+        assert len(PROTOCOLS) >= 3
+        assert len(ADVERSARIES) >= 2
+        assert len(DELAY_MODELS) >= 2
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(KeyError):
+            make_scenario("no-such-protocol")
+        with pytest.raises(KeyError):
+            make_scenario("binary", adversary="no-such-adversary")
+        with pytest.raises(KeyError):
+            make_scenario("binary", delay="no-such-delay")
+        with pytest.raises(KeyError):
+            find_scenarios(["no-such-scenario"])
+
+    def test_find_scenarios_resolves_matrix_names(self):
+        names = [spec.name for spec in MATRIX[:3]]
+        assert [spec.name for spec in find_scenarios(names)] == names
+
+    def test_submatrix_selection(self):
+        sub = scenario_matrix(protocols=["binary"], adversaries=["silent"], delays=None)
+        assert len(sub) == len(DELAY_MODELS)
+        assert all(spec.protocol == "binary" and spec.adversary == "silent" for spec in sub)
+
+    def test_specs_are_pure_data(self):
+        import pickle
+
+        for spec in MATRIX:
+            clone = pickle.loads(pickle.dumps(spec))
+            assert clone == spec
+            assert hash(clone) == hash(spec)
+
+    def test_spec_param_override(self):
+        spec = make_scenario("binary", params={"crash_time": 7.5, "gst": 2.0})
+        assert spec.param("crash_time") == 7.5
+        assert spec.param("gst") == 2.0
+        assert spec.param("absent", "fallback") == "fallback"
+        assert spec.with_(n=7, t=2).system().n == 7
+
+
+@pytest.mark.parametrize("spec", MATRIX, ids=[spec.name for spec in MATRIX])
+def test_every_combination_completes_correctly(spec):
+    result = execute_run(spec, DEFAULT_SEED)
+    assert result.error is None, result.error
+    assert result.completed, f"{spec.name}: correct processes did not all decide"
+    assert result.agreement, f"{spec.name}: agreement violated"
+    assert result.validity_ok, f"{spec.name}: validity violated"
+    assert result.violations == ()
+    assert result.message_complexity > 0
+    assert result.decision_latency > 0.0
+
+
+@pytest.mark.parametrize("property_key", ["strong", "weak", "median", "convex-hull", "correct-proposal"])
+def test_universal_scenarios_cover_validity_properties(property_key):
+    # correct-proposal's Lambda needs a value proposed by more than t
+    # processes, so pin a proposal spread with a clear plurality.
+    spec = make_scenario(
+        "universal-authenticated",
+        "silent",
+        "synchronous",
+        property_key=property_key,
+        params={"proposals": ((0, 1), (1, 1), (2, 0), (3, 0))},
+    )
+    result = execute_run(spec, DEFAULT_SEED)
+    assert result.ok, (result.error, result.violations)
+
+
+def test_larger_system_scenario_completes():
+    spec = make_scenario("universal-authenticated", "silent", "eventual", n=7, t=2)
+    result = execute_run(spec, DEFAULT_SEED)
+    assert result.ok, (result.error, result.violations)
+    assert len(result.decisions) == 5
