@@ -1,0 +1,53 @@
+"""Adversarial-region sweep — equivocation and partition/jitter overheads.
+
+The paper's claims are quantified over *all* executions of the partially
+synchronous model, including Byzantine equivocation and partitioned networks.
+This benchmark sweeps Universal (Algorithm 1 backend) across the benign and
+adversarial corners of the scenario matrix and records the latency and
+message overhead each adversarial dimension costs, checking the qualitative
+shape: a partition that heals at GST delays decisions past the release time,
+and equivocation never breaks a run (every record stays ``ok``).
+"""
+
+from conftest import bench_seeds, run_once
+
+from repro.experiments import Runner, aggregate, make_scenario
+
+ADVERSARIES = ("none", "silent", "equivocation")
+DELAYS = ("synchronous", "partition", "jittered")
+SEEDS = bench_seeds(5)
+RELEASE_TIME = 5.0
+
+
+def test_adversarial_region_overheads(benchmark):
+    scenarios = [
+        make_scenario(
+            "universal-authenticated",
+            adversary=adversary,
+            delay=delay,
+            name=f"adv:{adversary}:{delay}",
+        )
+        for adversary in ADVERSARIES
+        for delay in DELAYS
+    ]
+
+    def measure():
+        results = Runner(parallel=4).run(scenarios, seeds=SEEDS)
+        assert all(result.ok for result in results), [
+            (result.scenario, result.error, result.violations) for result in results if not result.ok
+        ]
+        summaries = aggregate(results)
+        return {
+            name.split(":", 1)[1]: (summary.latency.mean, summary.messages.mean)
+            for name, summary in summaries.items()
+        }
+
+    rows = run_once(benchmark, measure)
+    benchmark.extra_info["latency_and_messages"] = {
+        key: [round(latency, 2), round(messages, 1)] for key, (latency, messages) in sorted(rows.items())
+    }
+    for adversary in ADVERSARIES:
+        # A partition healing at GST forces decisions after the release time,
+        # strictly later than the synchronous execution of the same adversary.
+        assert rows[f"{adversary}:partition"][0] > RELEASE_TIME
+        assert rows[f"{adversary}:partition"][0] > rows[f"{adversary}:synchronous"][0]

@@ -94,8 +94,8 @@ def main() -> None:
 
     scenarios = [
         make_scenario("universal-authenticated", adversary=adversary, delay=delay)
-        for adversary in ("silent", "crash")
-        for delay in ("synchronous", "eventual")
+        for adversary in ("silent", "crash", "equivocation")
+        for delay in ("synchronous", "eventual", "partition", "jittered")
     ]
     results = Runner(parallel=2).run(scenarios, seeds=sweep_seeds(3, base=DEFAULT_SEED))
 

@@ -36,11 +36,13 @@ from .runner import DEFAULT_SEED, RunResult, Runner, canonical_value, execute_ru
 from .scenario import (
     ADVERSARIES,
     DELAY_MODELS,
+    EQUIVOCATION_ATTACKS,
     PROTOCOLS,
     ProtocolSetup,
     ScenarioSpec,
     default_matrix,
     find_scenarios,
+    large_n_presets,
     make_params,
     make_scenario,
     scenario_matrix,
@@ -58,6 +60,8 @@ __all__ = [
     "scenario_matrix",
     "scenario_name",
     "default_matrix",
+    "large_n_presets",
+    "EQUIVOCATION_ATTACKS",
     "find_scenarios",
     "Runner",
     "RunResult",

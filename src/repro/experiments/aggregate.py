@@ -77,35 +77,49 @@ class ScenarioSummary:
 
 
 def aggregate(results: Iterable[RunResult]) -> Dict[str, ScenarioSummary]:
-    """Fold run records into per-scenario summaries (keyed by scenario name)."""
+    """Fold run records into per-scenario summaries (keyed by scenario name).
+
+    Runs that never finished (errors, timeouts) carry no agreement/validity
+    verdict and no meaningful latency, so they only feed the ``errors``
+    counter: agreement/validity violations are counted over runs with an
+    actual ``False`` verdict, and the latency distribution only over runs in
+    which every correct process decided.  Treating a timed-out run's
+    placeholder fields as data would let it pass for a clean, zero-latency
+    run.
+    """
     grouped: Dict[str, List[RunResult]] = {}
     for result in results:
         grouped.setdefault(result.scenario, []).append(result)
     summaries: Dict[str, ScenarioSummary] = {}
     for scenario, runs in grouped.items():
         finished = [run for run in runs if run.error is None]
+        decided = [run for run in finished if run.completed and run.decision_latency is not None]
         summaries[scenario] = ScenarioSummary(
             scenario=scenario,
             runs=len(runs),
             errors=sum(1 for run in runs if run.error is not None),
             incomplete=sum(1 for run in finished if not run.completed),
-            agreement_violations=sum(1 for run in finished if not run.agreement),
-            validity_violations=sum(1 for run in finished if not run.validity_ok),
+            agreement_violations=sum(1 for run in finished if run.agreement is False),
+            validity_violations=sum(1 for run in finished if run.validity_ok is False),
             violation_total=sum(len(run.violations) for run in runs),
             messages=Distribution.from_values([run.message_complexity for run in finished]),
             words=Distribution.from_values([run.communication_complexity for run in finished]),
-            latency=Distribution.from_values([run.decision_latency for run in finished]),
+            latency=Distribution.from_values([run.decision_latency for run in decided]),
         )
     return summaries
 
 
-def summaries_to_json(summaries: Dict[str, ScenarioSummary]) -> str:
-    """Canonical JSON for a set of summaries (stable across runs and hosts)."""
-    payload = {
+def summaries_to_payload(summaries: Dict[str, ScenarioSummary]) -> Dict[str, Any]:
+    """The baseline JSON shape as plain dicts (single source of the format)."""
+    return {
         "format_version": BASELINE_FORMAT_VERSION,
         "scenarios": {name: summary.to_dict() for name, summary in summaries.items()},
     }
-    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def summaries_to_json(summaries: Dict[str, ScenarioSummary]) -> str:
+    """Canonical JSON for a set of summaries (stable across runs and hosts)."""
+    return json.dumps(summaries_to_payload(summaries), sort_keys=True, separators=(",", ":"))
 
 
 def write_baseline(path: Union[str, pathlib.Path], summaries: Dict[str, ScenarioSummary]) -> None:

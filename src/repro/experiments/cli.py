@@ -21,11 +21,12 @@ directly as a CI gate.
 from __future__ import annotations
 
 import argparse
+import json
 import pathlib
 import sys
 from typing import List, Optional, Sequence
 
-from .aggregate import aggregate, check_baseline, results_to_json, write_baseline
+from .aggregate import aggregate, check_baseline, results_to_json, summaries_to_payload, write_baseline
 from .runner import DEFAULT_SEED, Runner, sweep_seeds
 from .scenario import ADVERSARIES, DELAY_MODELS, PROTOCOLS, default_matrix, find_scenarios
 
@@ -53,6 +54,12 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--output", type=pathlib.Path, default=None, help="write raw RunResult records as JSON")
     run.add_argument("--write-baseline", type=pathlib.Path, default=None, help="store the sweep summary")
     run.add_argument("--check-baseline", type=pathlib.Path, default=None, help="diff against a stored summary")
+    run.add_argument(
+        "--diff-output",
+        type=pathlib.Path,
+        default=None,
+        help="write the baseline diff (regressions + measured summary) as JSON, for CI artifacts",
+    )
     run.add_argument("--tolerance", type=float, default=0.2, help="relative complexity tolerance for the diff")
     run.add_argument("--quiet", action="store_true", help="only print failures")
     return parser
@@ -100,6 +107,9 @@ def _command_run(args: argparse.Namespace) -> int:
     if not scenarios:
         print("no scenarios selected", file=sys.stderr)
         return 2
+    if args.diff_output is not None and args.check_baseline is None:
+        print("error: --diff-output requires --check-baseline", file=sys.stderr)
+        return 2
     results = Runner(parallel=args.parallel, timeout=args.timeout).run(scenarios, seeds)
     summaries = aggregate(results)
 
@@ -126,6 +136,15 @@ def _command_run(args: argparse.Namespace) -> int:
         regressions = check_baseline(summaries, args.check_baseline, args.tolerance)
         for regression in regressions:
             print(f"  REGRESSION {regression}", file=sys.stderr)
+        if args.diff_output is not None:
+            payload = {
+                "baseline": str(args.check_baseline),
+                "regressions": regressions,
+                "failures": [result.to_dict() for result in failures],
+                "measured": summaries_to_payload(summaries),
+            }
+            args.diff_output.write_text(json.dumps(payload, sort_keys=True, indent=2) + "\n")
+            print(f"wrote baseline diff to {args.diff_output}")
         if regressions:
             exit_code = 1
         elif not args.quiet:

@@ -16,11 +16,13 @@ the sweep.
 
 from __future__ import annotations
 
+import contextlib
 import json
 import multiprocessing
+import os
 import signal
 from dataclasses import asdict, dataclass
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..sim.simulation import Simulation, SimulationError
 from .scenario import ADVERSARIES, DELAY_MODELS, PROTOCOLS, ScenarioSpec
@@ -43,13 +45,18 @@ class RunResult:
     Every field is a deterministic function of the pair; containers are
     canonically ordered, which makes the record safe to hash, diff and store
     as a regression baseline.
+
+    ``agreement``, ``validity_ok`` and ``decision_latency`` are ``None`` when
+    the run never finished (e.g. a wall-clock timeout): an unfinished run has
+    no verdict on those properties, and reporting ``True``/``0.0`` would let
+    it masquerade as a clean fast run in the aggregates.
     """
 
     scenario: str
     seed: int
     completed: bool
-    agreement: bool
-    validity_ok: bool
+    agreement: Optional[bool]
+    validity_ok: Optional[bool]
     violations: Tuple[str, ...]
     decisions: Tuple[Tuple[int, str], ...]
     message_complexity: int
@@ -57,7 +64,7 @@ class RunResult:
     total_messages: int
     total_words: int
     byzantine_messages: int
-    decision_latency: float
+    decision_latency: Optional[float]
     error: Optional[str] = None
 
     @property
@@ -165,12 +172,14 @@ def _raise_timeout(signum, frame):  # pragma: no cover - signal handler
 
 
 def _timeout_result(spec: ScenarioSpec, seed: int, timeout: float) -> RunResult:
+    # A timed-out run has no verdict: agreement/validity/latency are unknown,
+    # not clean, so they are None and the aggregates skip them.
     return RunResult(
         scenario=spec.name,
         seed=seed,
         completed=False,
-        agreement=True,
-        validity_ok=True,
+        agreement=None,
+        validity_ok=None,
         violations=(),
         decisions=(),
         message_complexity=0,
@@ -178,7 +187,7 @@ def _timeout_result(spec: ScenarioSpec, seed: int, timeout: float) -> RunResult:
         total_messages=0,
         total_words=0,
         byzantine_messages=0,
-        decision_latency=0.0,
+        decision_latency=None,
         error=f"timeout: run exceeded {timeout}s wall clock",
     )
 
@@ -203,6 +212,37 @@ def _execute_with_timeout(item: Tuple[ScenarioSpec, int, Optional[float]]) -> Ru
         signal.signal(signal.SIGALRM, previous)
 
 
+def _effective_hash_seed() -> str:
+    """The ``PYTHONHASHSEED`` value to pin for spawned workers.
+
+    Spawned workers boot a fresh interpreter, which randomises its string
+    hash seed unless ``PYTHONHASHSEED`` is set — two workers could then
+    disagree on any hash-order-dependent iteration.  Pinning every worker to
+    one value keeps the whole pool (and reruns of it) consistent; the
+    parent's explicit setting wins when present.  (RunResult fields are
+    canonically ordered, so results never depend on the parent's own hash
+    seed — the pin only has to make the workers agree with each other.)
+    """
+    value = os.environ.get("PYTHONHASHSEED", "")
+    if value and value != "random":
+        return value
+    return "0"
+
+
+@contextlib.contextmanager
+def _pinned_hash_seed() -> Iterator[None]:
+    """Temporarily pin ``PYTHONHASHSEED`` in the environment for child processes."""
+    previous = os.environ.get("PYTHONHASHSEED")
+    os.environ["PYTHONHASHSEED"] = _effective_hash_seed()
+    try:
+        yield
+    finally:
+        if previous is None:
+            del os.environ["PYTHONHASHSEED"]
+        else:
+            os.environ["PYTHONHASHSEED"] = previous
+
+
 class Runner:
     """Executes scenario sweeps, serially or across worker processes.
 
@@ -213,11 +253,29 @@ class Runner:
             exceeds it yields an ``error`` record instead of hanging the
             sweep.  Enforced via ``SIGALRM``, so on platforms without it
             (Windows) the timeout is ignored with a warning.
+        start_method: Optional ``multiprocessing`` start method override
+            (``"fork"``/``"spawn"``/``"forkserver"``).  Defaults to fork when
+            available, else spawn.  Spawned workers get ``PYTHONHASHSEED``
+            pinned so the serial == parallel byte-identical guarantee holds
+            on spawn-only platforms too.  (Caveat: a ``forkserver`` master
+            started *before* this call captured its environment then, so the
+            pin cannot reach its workers; only fork and spawn carry the
+            guarantee.)
     """
 
-    def __init__(self, parallel: Optional[int] = None, timeout: Optional[float] = None):
+    def __init__(
+        self,
+        parallel: Optional[int] = None,
+        timeout: Optional[float] = None,
+        start_method: Optional[str] = None,
+    ):
         if parallel is not None and parallel < 0:
             raise ValueError("parallel must be a non-negative worker count")
+        if start_method is not None and start_method not in multiprocessing.get_all_start_methods():
+            raise ValueError(
+                f"start method {start_method!r} not available; "
+                f"this platform offers {multiprocessing.get_all_start_methods()}"
+            )
         if timeout is not None and not hasattr(signal, "SIGALRM"):
             import warnings
 
@@ -229,6 +287,7 @@ class Runner:
             )
         self.parallel = parallel
         self.timeout = timeout
+        self.start_method = start_method
 
     def run(
         self, scenarios: Sequence[ScenarioSpec], seeds: Iterable[int] = (DEFAULT_SEED,)
@@ -240,13 +299,21 @@ class Runner:
             return []
         if not self.parallel or self.parallel <= 1 or len(items) == 1:
             return [_execute_with_timeout(item) for item in items]
-        # Fork keeps the parent's interpreter state (including the hash seed),
-        # which is what makes parallel results byte-identical to serial ones.
-        method = "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+        method = self.start_method or (
+            "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+        )
         context = multiprocessing.get_context(method)
         workers = min(self.parallel, len(items))
-        with context.Pool(processes=workers) as pool:
-            return pool.map(_execute_with_timeout, items)
+        if method == "fork":
+            # Fork keeps the parent's interpreter state (including the hash
+            # seed), which makes parallel results byte-identical to serial ones.
+            with context.Pool(processes=workers) as pool:
+                return pool.map(_execute_with_timeout, items)
+        # Spawn/forkserver boot fresh interpreters: pin their hash seed so
+        # every worker hashes identically and the guarantee still holds.
+        with _pinned_hash_seed():
+            with context.Pool(processes=workers) as pool:
+                return pool.map(_execute_with_timeout, items)
 
 
 def run_matrix(

@@ -28,11 +28,12 @@ from typing import Any, Callable, Dict, List, NamedTuple, Optional, Sequence, Tu
 from ..consensus.binary import BinaryConsensus
 from ..consensus.quad import Quad
 from ..consensus.universal_protocol import universal_process_factory
+from ..consensus.vector_authenticated import SignedProposal
 from ..core.input_config import InputConfiguration
 from ..core.system import SystemConfig
 from ..core.universal import UniversalSpec
-from ..sim.adversary import crash_factory, dropping_factory, silent_factory
-from ..sim.network import DelayModel, SynchronousDelayModel
+from ..sim.adversary import crash_factory, dropping_factory, equivocating_factory, silent_factory
+from ..sim.network import DelayModel, JitteredDelayModel, PartitionDelayModel, SynchronousDelayModel
 from ..sim.process import Process
 from ..sim.simulation import Simulation
 
@@ -308,6 +309,62 @@ def _build_dropping(spec, system, correct_factory, seed):
 
 
 # ----------------------------------------------------------------------
+# Equivocation: Byzantine proposers sending a different, well-formed
+# proposal-phase message to every receiver.  The target module path and the
+# wire format depend on the protocol, so each protocol key registers its
+# attack surface here.
+# ----------------------------------------------------------------------
+def _signed_equivocation(process, receiver, value):
+    """A properly self-signed proposal (the PKI is never violated)."""
+    signature = process.authority.sign(process.pid, ("proposal", value))
+    return SignedProposal(sender=process.pid, value=value, signature=signature)
+
+
+def _equivocation_value(seed: int) -> Callable[[int, int], int]:
+    return lambda pid, receiver: 100 + receiver + 10 * pid + seed % 10
+
+
+EQUIVOCATION_ATTACKS: Dict[str, Callable[[ScenarioSpec, int], Callable[[int, Simulation], Process]]] = {
+    # Split bval votes in round 1 of binary consensus.
+    "binary": lambda spec, seed: equivocating_factory(
+        ("binary",), lambda pid, receiver: ("bval", 1, (pid + receiver + seed) % 2)
+    ),
+    # Conflicting leader proposals for the view this proposer would lead.
+    "quad": lambda spec, seed: equivocating_factory(
+        ("quad",),
+        lambda pid, receiver: f"eq{pid}.{receiver}.{seed % 10}",
+        lambda process, receiver, value: ("propose", process.pid + 1, value, ("ok", value), None),
+    ),
+    # A different self-signed proposal per receiver (the textbook attack on
+    # the dissemination layer of Algorithm 1).
+    "universal-authenticated": lambda spec, seed: equivocating_factory(
+        ("universal", "vec_cons"), _equivocation_value(seed), _signed_equivocation
+    ),
+    # Same attack against Algorithm 6's best-effort proposal broadcast.
+    "universal-compact": lambda spec, seed: equivocating_factory(
+        ("universal", "vec_cons", "beb"), _equivocation_value(seed), _signed_equivocation
+    ),
+    # Equivocate inside Bracha broadcast (Algorithm 3's proposal phase).
+    "universal-non-authenticated": lambda spec, seed: equivocating_factory(
+        ("universal", "vec_cons", "brb"),
+        _equivocation_value(seed),
+        lambda process, receiver, value: ("send", ("proposal", value)),
+    ),
+}
+
+
+@register_adversary("equivocation")
+def _build_equivocation(spec, system, correct_factory, seed):
+    attack = EQUIVOCATION_ATTACKS.get(spec.protocol)
+    if attack is None:
+        raise KeyError(
+            f"protocol {spec.protocol!r} has no registered equivocation attack; "
+            f"add it to EQUIVOCATION_ATTACKS (known: {sorted(EQUIVOCATION_ATTACKS)})"
+        )
+    return _faulty_indices(system), attack(spec, seed)
+
+
+# ----------------------------------------------------------------------
 # Delay models
 # ----------------------------------------------------------------------
 @register_delay_model("synchronous")
@@ -318,6 +375,35 @@ def _build_synchronous(spec: ScenarioSpec, seed: int) -> DelayModel:
 @register_delay_model("eventual")
 def _build_eventual(spec: ScenarioSpec, seed: int) -> DelayModel:
     return DelayModel(gst=spec.param("gst", 5.0), delta=spec.param("delta", 1.0), seed=seed)
+
+
+@register_delay_model("partition")
+def _build_partition(spec: ScenarioSpec, seed: int) -> DelayModel:
+    """Split all process indices into two halves, partitioned until release.
+
+    The release time doubles as the GST (the base-class clamp would cut the
+    partition short for correct senders otherwise), so the scenario exercises
+    the regime where the network heals exactly when partial synchrony kicks in.
+    """
+    half = spec.n // 2
+    return PartitionDelayModel(
+        group_a=set(range(half)),
+        group_c=set(range(half, spec.n)),
+        release_time=spec.param("release_time", 5.0),
+        delta=spec.param("delta", 1.0),
+        seed=seed,
+        gst=spec.param("gst"),
+    )
+
+
+@register_delay_model("jittered")
+def _build_jittered(spec: ScenarioSpec, seed: int) -> DelayModel:
+    return JitteredDelayModel(
+        gst=spec.param("gst", 5.0),
+        delta=spec.param("delta", 1.0),
+        alpha=spec.param("alpha", 1.5),
+        seed=seed,
+    )
 
 
 # ----------------------------------------------------------------------
@@ -382,9 +468,43 @@ def scenario_matrix(
     return specs
 
 
+LARGE_N_PRESETS: Tuple[Tuple[str, str, str, int, int], ...] = (
+    # (protocol, adversary, delay, n, t) — larger-system presets appended to
+    # the cartesian matrix, biased toward the newly opened adversarial region.
+    ("binary", "silent", "synchronous", 7, 2),
+    ("binary", "equivocation", "partition", 7, 2),
+    ("binary", "dropping", "jittered", 10, 3),
+    ("quad", "silent", "jittered", 7, 2),
+    ("quad", "equivocation", "eventual", 7, 2),
+    ("universal-authenticated", "silent", "eventual", 7, 2),
+    ("universal-authenticated", "equivocation", "partition", 7, 2),
+    ("universal-authenticated", "silent", "synchronous", 10, 3),
+    ("universal-compact", "crash", "synchronous", 7, 2),
+    ("universal-compact", "equivocation", "jittered", 7, 2),
+    ("universal-non-authenticated", "silent", "synchronous", 7, 2),
+    ("universal-non-authenticated", "equivocation", "eventual", 7, 2),
+)
+
+
+def large_n_presets() -> List[ScenarioSpec]:
+    """Named larger-system scenarios (``<protocol>+<adversary>+<delay>@n<n>``)."""
+    return [
+        make_scenario(
+            protocol,
+            adversary,
+            delay,
+            n=n,
+            t=t,
+            name=f"{scenario_name(protocol, adversary, delay)}@n{n}",
+        )
+        for protocol, adversary, delay, n, t in LARGE_N_PRESETS
+    ]
+
+
 def default_matrix() -> List[ScenarioSpec]:
-    """Every registered protocol × adversary × delay-model combination (n=4, t=1)."""
-    return scenario_matrix()
+    """Every registered protocol × adversary × delay-model combination (n=4, t=1),
+    plus the larger-system presets."""
+    return scenario_matrix() + large_n_presets()
 
 
 def find_scenarios(names: Sequence[str]) -> List[ScenarioSpec]:

@@ -7,11 +7,12 @@ from .adversary import (
     SilentProcess,
     crash_factory,
     dropping_factory,
+    equivocating_factory,
     silent_factory,
 )
 from .events import Envelope, Event, MessageDelivery, TimerExpiry
 from .metrics import MetricsCollector, word_size
-from .network import DelayModel, PartitionDelayModel, SynchronousDelayModel
+from .network import DelayModel, JitteredDelayModel, PartitionDelayModel, SynchronousDelayModel
 from .process import Process, ProtocolModule
 from .simulation import Simulation, SimulationError
 
@@ -27,6 +28,7 @@ __all__ = [
     "DelayModel",
     "SynchronousDelayModel",
     "PartitionDelayModel",
+    "JitteredDelayModel",
     "MetricsCollector",
     "word_size",
     "SilentProcess",
@@ -36,4 +38,5 @@ __all__ = [
     "silent_factory",
     "crash_factory",
     "dropping_factory",
+    "equivocating_factory",
 ]

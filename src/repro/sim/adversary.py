@@ -203,3 +203,28 @@ def dropping_factory(
         return MessageDroppingProcess(pid, simulation, inner_factory, drop_probability, seed)
 
     return build
+
+
+def equivocating_factory(
+    target_path: tuple,
+    value_for_receiver: Callable[[int, int], Any],
+    message_builder: Optional[Callable[[EquivocatingProposer, int, Any], Any]] = None,
+) -> Callable[[int, Simulation], Process]:
+    """Factory building equivocating proposers for :meth:`Simulation.populate`.
+
+    Unlike :class:`EquivocatingProposer`'s own ``value_for_receiver`` (which
+    sees only the receiver), the callable here receives ``(pid, receiver)``
+    so that several Byzantine proposers built from one factory equivocate
+    with distinct value families.
+    """
+
+    def build(pid: int, simulation: Simulation) -> Process:
+        return EquivocatingProposer(
+            pid,
+            simulation,
+            target_path=target_path,
+            value_for_receiver=lambda receiver: value_for_receiver(pid, receiver),
+            message_builder=message_builder,
+        )
+
+    return build

@@ -7,10 +7,36 @@ delivered within ``delta`` after GST (and messages sent before GST are
 delivered by ``GST + delta`` at the latest).  Before GST the adversary fully
 controls delays.
 
-:class:`DelayModel` implements that contract; subclasses and the
-``schedule_hook`` give the lower-bound and triviality experiments the
-fine-grained adversarial control the proofs rely on (delaying specific link
-groups until after a chosen time).
+The delay-model contract
+========================
+
+For every message from a **correct** sender, the delivery time satisfies::
+
+    send_time + min_delay  <=  delivery  <=  max(send_time, gst) + delta
+
+Messages from Byzantine senders carry no upper bound in the model (only the
+``min_delay`` causality floor), which is the freedom the lower-bound and
+partitioning adversaries exploit.
+
+The contract is enforced in exactly one place — :meth:`DelayModel.delivery_time`,
+which is final (subclasses attempting to override it are rejected at class
+definition time).  Concrete network behaviours are *candidate-only*: they
+override the :meth:`DelayModel._candidate_delay` hook, which proposes a
+delivery time that the base class then clamps to the contract.  The optional
+``schedule_hook`` gives per-message adversarial control on top of any
+candidate distribution (it too is clamped for correct senders); both the
+lower-bound and triviality experiments rely on it to delay specific link
+groups until after a chosen time.
+
+Shipped candidate models:
+
+* :class:`DelayModel` — uniform jitter in ``[min_delay, delta]`` after GST and
+  uniform in the full contract window before GST;
+* :class:`SynchronousDelayModel` — GST = 0 (synchronous from the start);
+* :class:`PartitionDelayModel` — two process groups do not hear from each
+  other until a release time (the Lemma 2 partitioning argument);
+* :class:`JitteredDelayModel` — heavy-tailed (Pareto) jitter before GST,
+  modelling an unstable network that calms down at GST.
 """
 
 from __future__ import annotations
@@ -19,18 +45,24 @@ import random
 from typing import Callable, Optional
 
 ScheduleHook = Callable[[int, int, float, float], Optional[float]]
-"""Adversarial override: ``(sender, receiver, send_time, default_delivery) -> delivery or None``."""
+"""Adversarial override: ``(sender, receiver, send_time, candidate_delivery) -> delivery or None``."""
 
 
 class DelayModel:
     """Computes delivery times under partial synchrony.
+
+    ``delivery_time`` is **final**: it asks :meth:`_candidate_delay` (and then
+    the ``schedule_hook``, if any) for a candidate delivery time and clamps
+    the result to the partial-synchrony contract for correct senders, so no
+    subclass or hook can accidentally violate the model.  Subclasses express
+    network behaviours by overriding :meth:`_candidate_delay` only.
 
     Args:
         gst: The Global Stabilization Time of the execution.
         delta: The known post-GST delay bound.
         min_delay: Minimum link latency (must be positive so that causality
             is preserved and the event loop always makes progress).
-        seed: Seed for the deterministic pseudo-random pre-GST delays.
+        seed: Seed for the deterministic pseudo-random delays.
         schedule_hook: Optional adversarial override consulted for every
             message; it may return an explicit delivery time, which is then
             clamped to the partial-synchrony contract for correct senders.
@@ -56,35 +88,52 @@ class DelayModel:
         self.schedule_hook = schedule_hook
         self._rng = random.Random(seed)
 
+    def __init_subclass__(cls, **kwargs):
+        super().__init_subclass__(**kwargs)
+        for final in ("delivery_time", "latest_delivery"):
+            if final in cls.__dict__:
+                raise TypeError(
+                    f"{cls.__name__} must not override {final}(); the partial-synchrony "
+                    "contract is enforced there — override _candidate_delay() instead"
+                )
+
     # ------------------------------------------------------------------
     def latest_delivery(self, send_time: float) -> float:
         """The latest time the partial-synchrony contract allows for delivery."""
         return max(send_time, self.gst) + self.delta
 
     def delivery_time(self, sender: int, receiver: int, send_time: float, sender_correct: bool) -> float:
-        """Return the delivery time for a message.
+        """Return the delivery time for a message (final; see module docstring).
 
         Messages from correct senders always respect the partial-synchrony
         contract; messages from Byzantine senders may be delayed arbitrarily
-        by the hook (they carry no guarantee in the model), but default to
-        the same distribution.
+        by the candidate model or the hook (they carry no guarantee in the
+        model) but never below the ``min_delay`` causality floor.
         """
         earliest = send_time + self.min_delay
         latest = self.latest_delivery(send_time)
-        default = self._default_delay(send_time, earliest, latest)
+        candidate = self._candidate_delay(sender, receiver, send_time)
         if self.schedule_hook is not None:
-            override = self.schedule_hook(sender, receiver, send_time, default)
+            override = self.schedule_hook(sender, receiver, send_time, candidate)
             if override is not None:
-                chosen = max(override, earliest)
-                if sender_correct:
-                    chosen = min(chosen, latest)
-                return chosen
-        return default
+                candidate = override
+        chosen = max(candidate, earliest)
+        if sender_correct:
+            chosen = min(chosen, latest)
+        return chosen
 
-    def _default_delay(self, send_time: float, earliest: float, latest: float) -> float:
+    def _candidate_delay(self, sender: int, receiver: int, send_time: float) -> float:
+        """Propose a delivery time (the extension point for network behaviours).
+
+        The returned candidate may fall outside the contract window; the base
+        class clamps it.  The default draws uniform jitter from
+        ``[min_delay, delta]`` after GST, and uniformly over the full allowed
+        window before GST.
+        """
+        earliest = send_time + self.min_delay
         if send_time >= self.gst:
-            return min(earliest + self._rng.random() * (self.delta - self.min_delay), latest)
-        return earliest + self._rng.random() * (latest - earliest)
+            return earliest + self._rng.random() * (self.delta - self.min_delay)
+        return earliest + self._rng.random() * (self.latest_delivery(send_time) - earliest)
 
 
 class SynchronousDelayModel(DelayModel):
@@ -106,8 +155,11 @@ class PartitionDelayModel(DelayModel):
     This is the scheduling used by the classical partitioning argument
     (Lemma 2 of the paper): groups ``A`` and ``C`` do not hear from each
     other until after both sides have decided.  The release time is also used
-    as the GST unless an explicit one is given, so the partial-synchrony
-    contract is respected.
+    as the GST unless an explicit one is given.  Either way the base class
+    clamps correct-sender deliveries to the contract, so passing an explicit
+    ``gst < release_time`` shortens the partition for correct senders instead
+    of silently violating partial synchrony (Byzantine cross-group messages
+    stay delayed until release).
     """
 
     def __init__(
@@ -119,6 +171,7 @@ class PartitionDelayModel(DelayModel):
         min_delay: float = 0.1,
         seed: int = 0,
         gst: Optional[float] = None,
+        schedule_hook: Optional[ScheduleHook] = None,
     ):
         self.group_a = frozenset(group_a)
         self.group_c = frozenset(group_c)
@@ -130,15 +183,59 @@ class PartitionDelayModel(DelayModel):
             delta=delta,
             min_delay=min_delay,
             seed=seed,
+            schedule_hook=schedule_hook,
         )
 
-    def delivery_time(self, sender: int, receiver: int, send_time: float, sender_correct: bool) -> float:
+    def _candidate_delay(self, sender: int, receiver: int, send_time: float) -> float:
         crosses = (sender in self.group_a and receiver in self.group_c) or (
             sender in self.group_c and receiver in self.group_a
         )
         if crosses and send_time < self.release_time:
             return self.release_time + self.min_delay + self._rng.random() * (self.delta - self.min_delay)
-        # Within a group (or involving the Byzantine processes) the adversary
-        # chooses prompt, synchronous-looking delays even before GST: this is
-        # exactly the scheduling freedom the partitioning argument exploits.
+        # Within a group (or involving processes outside both groups) the
+        # adversary chooses prompt, synchronous-looking delays even before
+        # GST: this is exactly the scheduling freedom the partitioning
+        # argument exploits.
         return send_time + self.min_delay + self._rng.random() * (self.delta - self.min_delay)
+
+
+class JitteredDelayModel(DelayModel):
+    """Heavy-tailed (Pareto) message jitter before GST, calm after it.
+
+    Before GST every message draws an extra Pareto-distributed delay on top
+    of ``min_delay`` — most messages arrive promptly, a heavy tail straggles
+    (and is clamped to ``GST + delta`` by the base class for correct
+    senders).  After GST the network behaves like the default uniform model.
+    This models the "unstable network that eventually stabilises" reading of
+    partial synchrony, in between the benign ``eventual`` model and the fully
+    adversarial partition schedules.
+
+    Args:
+        alpha: Pareto tail exponent (smaller = heavier tail; must be > 0).
+        jitter_scale: Scale of the pre-GST jitter, in time units (defaults
+            to ``delta``).
+    """
+
+    def __init__(
+        self,
+        gst: float = 5.0,
+        delta: float = 1.0,
+        min_delay: float = 0.1,
+        seed: int = 0,
+        alpha: float = 1.5,
+        jitter_scale: Optional[float] = None,
+        schedule_hook: Optional[ScheduleHook] = None,
+    ):
+        if alpha <= 0:
+            raise ValueError("alpha must be positive")
+        super().__init__(gst=gst, delta=delta, min_delay=min_delay, seed=seed, schedule_hook=schedule_hook)
+        self.alpha = alpha
+        self.jitter_scale = delta if jitter_scale is None else jitter_scale
+
+    def _candidate_delay(self, sender: int, receiver: int, send_time: float) -> float:
+        earliest = send_time + self.min_delay
+        if send_time >= self.gst:
+            return earliest + self._rng.random() * (self.delta - self.min_delay)
+        # paretovariate() >= 1, so the extra jitter starts at 0 and has a
+        # heavy right tail; stragglers are clamped to GST + delta by the base.
+        return earliest + (self._rng.paretovariate(self.alpha) - 1.0) * self.jitter_scale

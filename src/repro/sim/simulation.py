@@ -129,8 +129,9 @@ class Simulation:
             protocol=envelope.path,
             sender_correct=sender_correct,
         )
+        # DelayModel.delivery_time is final and already enforces the
+        # min_delay causality floor and the GST + delta contract.
         delivery_time = self.delay_model.delivery_time(sender, receiver, self.time, sender_correct)
-        delivery_time = max(delivery_time, self.time + self.delay_model.min_delay)
         self._push(
             delivery_time,
             Event.MESSAGE,

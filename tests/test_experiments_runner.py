@@ -61,6 +61,19 @@ class TestDeterminism:
         parallel = Runner(parallel=3).run(SWEEP, SEEDS)
         assert canonical_trace(parallel) == canonical_trace(serial)
 
+    def test_spawn_pool_byte_identical_to_serial(self):
+        # The spawn fallback boots fresh interpreters whose hash seed would
+        # otherwise be randomised per worker; the runner pins PYTHONHASHSEED
+        # so the guarantee holds on spawn-only platforms too.
+        sweep = SWEEP[:2]
+        serial = Runner().run(sweep, SEEDS)
+        spawned = Runner(parallel=2, start_method="spawn").run(sweep, SEEDS)
+        assert canonical_trace(spawned) == canonical_trace(serial)
+
+    def test_unknown_start_method_rejected(self):
+        with pytest.raises(ValueError):
+            Runner(parallel=2, start_method="teleport")
+
     def test_different_seeds_differ(self):
         spec = SWEEP[0]
         runs = {seed: execute_run(spec, seed) for seed in sweep_seeds(4)}
@@ -112,6 +125,13 @@ class TestRunner:
         assert len(results) == 1
         assert results[0].error is not None
         assert "timeout" in results[0].error
+        # A timed-out run has no verdict: it must not masquerade as a clean
+        # fast run with agreement=True / validity_ok=True / latency=0.0.
+        assert not results[0].completed
+        assert results[0].agreement is None
+        assert results[0].validity_ok is None
+        assert results[0].decision_latency is None
+        assert not results[0].ok
 
 
 class TestAggregation:
@@ -133,6 +153,32 @@ class TestAggregation:
         assert summary.errors == len(SEEDS)
         assert not summary.ok
         assert summary.messages.mean == 0.0
+
+    def test_timed_out_runs_excluded_from_agreement_validity_latency(self):
+        from repro.experiments.runner import _timeout_result
+
+        healthy = execute_run(SWEEP[0], DEFAULT_SEED)
+        timed_out = _timeout_result(SWEEP[0], DEFAULT_SEED + 1, timeout=0.1)
+        summaries = aggregate([healthy, timed_out])
+        summary = summaries[SWEEP[0].name]
+        assert summary.runs == 2
+        assert summary.errors == 1
+        assert summary.agreement_violations == 0
+        assert summary.validity_violations == 0
+        # The timeout's placeholder latency must not drag the mean toward 0.
+        assert summary.latency.mean == healthy.decision_latency
+        assert summary.latency.minimum == healthy.decision_latency
+
+    def test_horizon_limited_runs_excluded_from_latency(self):
+        stunted = SWEEP[0].with_(name="stunted", time_limit=0.05)
+        summaries = aggregate(Runner().run([stunted], SEEDS))
+        summary = summaries["stunted"]
+        assert summary.errors == 0
+        assert summary.incomplete == len(SEEDS)
+        assert not summary.ok
+        # No run completed, so the latency distribution is empty, not a pile
+        # of fake zero-latency "fast" runs.
+        assert summary.latency.mean == 0.0 and summary.latency.maximum == 0.0
 
 
 class TestBaseline:

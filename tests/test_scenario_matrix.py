@@ -12,10 +12,12 @@ from repro.experiments import (
     ADVERSARIES,
     DEFAULT_SEED,
     DELAY_MODELS,
+    EQUIVOCATION_ATTACKS,
     PROTOCOLS,
     default_matrix,
     execute_run,
     find_scenarios,
+    large_n_presets,
     make_scenario,
     scenario_matrix,
     scenario_name,
@@ -25,20 +27,29 @@ MATRIX = default_matrix()
 
 
 class TestRegistryComposition:
-    def test_matrix_is_the_full_cartesian_product(self):
-        assert len(MATRIX) == len(PROTOCOLS) * len(ADVERSARIES) * len(DELAY_MODELS)
+    def test_matrix_is_cartesian_product_plus_presets(self):
+        presets = large_n_presets()
+        assert len(MATRIX) == len(PROTOCOLS) * len(ADVERSARIES) * len(DELAY_MODELS) + len(presets)
         names = {spec.name for spec in MATRIX}
         assert len(names) == len(MATRIX)
         for protocol in PROTOCOLS:
             for adversary in ADVERSARIES:
                 for delay in DELAY_MODELS:
                     assert scenario_name(protocol, adversary, delay) in names
+        for spec in presets:
+            assert spec.name in names
+            assert spec.n > 4
 
     def test_matrix_is_rich_enough_for_the_paper_claims(self):
-        assert len(MATRIX) >= 12
+        assert len(MATRIX) >= 90
         assert len(PROTOCOLS) >= 3
-        assert len(ADVERSARIES) >= 2
-        assert len(DELAY_MODELS) >= 2
+        assert len(ADVERSARIES) >= 5
+        assert len(DELAY_MODELS) >= 4
+        assert "equivocation" in ADVERSARIES
+        assert "partition" in DELAY_MODELS and "jittered" in DELAY_MODELS
+
+    def test_every_protocol_has_an_equivocation_attack(self):
+        assert set(EQUIVOCATION_ATTACKS) == set(PROTOCOLS)
 
     def test_unknown_keys_rejected(self):
         with pytest.raises(KeyError):
