@@ -1,0 +1,304 @@
+"""Hot-path performance harness: event core, RS coding, matrix wall-clock.
+
+Unlike the ``bench_*.py`` pytest benchmarks (which pin the *complexity
+shapes* of the paper's claims), this is a standalone wall-clock harness for
+the three hot layers the sweeps spend their cycles in:
+
+1. **Event core** — a timer+broadcast flood over a small system, driven
+   through ``run_until_all_correct_decide`` exactly like the experiment
+   runner drives real protocols.  Reports dispatched events per second.
+2. **Reed-Solomon coding** — encode/decode MB/s of the optimized codec and
+   of the retained reference implementation (``repro.coding.reference``),
+   on clean fragments and with Byzantine corruption.
+3. **Scenario matrix** — wall-clock seconds for a fixed representative
+   slice of the scenario matrix through the parallel runner.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_hotpath.py                 # print JSON
+    PYTHONPATH=src python benchmarks/bench_hotpath.py --quick         # reduced sizes (CI smoke)
+    PYTHONPATH=src python benchmarks/bench_hotpath.py --output out.json
+    PYTHONPATH=src python benchmarks/bench_hotpath.py --check BENCH_hotpath.json \
+        --max-regression 0.30                                         # CI regression gate
+
+The committed ``BENCH_hotpath.json`` stores a ``before`` section (measured
+at the pre-optimization commit) and an ``after`` section (this harness on
+the optimized code), giving future PRs a perf trajectory.  ``--check``
+compares a fresh measurement against the committed ``after`` numbers and
+exits non-zero when events/sec regressed by more than ``--max-regression``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+_SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.coding import ReedSolomonCode, Fragment  # noqa: E402
+from repro.core import SystemConfig  # noqa: E402
+from repro.experiments import DEFAULT_SEED, Runner, make_scenario, sweep_seeds  # noqa: E402
+from repro.sim import Process, ProtocolModule, Simulation, SynchronousDelayModel  # noqa: E402
+
+try:  # the reference codec exists only after the hot-path PR
+    from repro.coding import reference as rs_reference
+except ImportError:  # pragma: no cover - pre-optimization tree
+    rs_reference = None
+
+
+# ----------------------------------------------------------------------
+# 1. Event-core microbench
+# ----------------------------------------------------------------------
+class _FloodModule(ProtocolModule):
+    """Broadcasts a small payload on every tick until a decision horizon."""
+
+    def __init__(self, process, horizon, tick):
+        super().__init__(process, "flood")
+        self.horizon = horizon
+        self.tick = tick
+
+    def start(self):
+        self.set_timer(self.tick, "tick")
+
+    def on_message(self, sender, payload):
+        self.process.count_dispatch()
+
+    def on_timer(self, tag):
+        self.process.count_dispatch()
+        # A mix of payload shapes: flat tuples (the common case) and a nested
+        # tuple now and then, so word_size sees both its fast and slow paths.
+        if int(self.now) % 5 == 0:
+            payload = ("ping", self.pid, ("nested", self.now))
+        else:
+            payload = ("ping", self.pid, int(self.now))
+        self.broadcast(payload)
+        if self.now >= self.horizon:
+            self.process.decide("done")
+        else:
+            self.set_timer(self.tick, "tick")
+
+
+class _FloodProcess(Process):
+    dispatches = 0
+
+    def on_start(self):
+        _FloodProcess.dispatches += 1
+        self.flood = _FloodModule(self, self._horizon, self._tick)
+        self.flood.start()
+
+    def count_dispatch(self):
+        _FloodProcess.dispatches += 1
+
+
+def bench_event_core(quick: bool) -> dict:
+    n, t = 10, 3
+    horizon = 60.0 if quick else 240.0
+    tick = 0.5
+
+    def factory(pid, sim):
+        process = _FloodProcess(pid, sim)
+        process._horizon = horizon
+        process._tick = tick
+        return process
+
+    _FloodProcess.dispatches = 0
+    system = SystemConfig(n, t)
+    simulation = Simulation(system, delay_model=SynchronousDelayModel(seed=DEFAULT_SEED))
+    simulation.populate(factory)
+    started = time.perf_counter()
+    simulation.run_until_all_correct_decide(max_events=50_000_000)
+    elapsed = time.perf_counter() - started
+    events = _FloodProcess.dispatches
+    return {
+        "n": n,
+        "events": events,
+        "seconds": round(elapsed, 4),
+        "events_per_sec": round(events / elapsed, 1),
+        "total_messages": simulation.metrics.total_messages,
+    }
+
+
+# ----------------------------------------------------------------------
+# 2. Reed-Solomon throughput
+# ----------------------------------------------------------------------
+def _corrupt(fragments, count):
+    corrupted = list(fragments)
+    for index in range(count):
+        fragment = corrupted[index]
+        corrupted[index] = Fragment(
+            index=fragment.index,
+            symbols=tuple((symbol + 101) % 256 for symbol in fragment.symbols),
+            blob_length=fragment.blob_length,
+        )
+    return corrupted
+
+
+def _time_call(func, *args, repeat=3):
+    best = float("inf")
+    result = None
+    for _ in range(repeat):
+        started = time.perf_counter()
+        result = func(*args)
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def bench_reed_solomon(quick: bool) -> dict:
+    import random
+
+    n, k = 24, 8
+    clean_size = 8_192 if quick else 65_536
+    dirty_size = 512 if quick else 2_048
+    rng = random.Random(DEFAULT_SEED)
+    codec = ReedSolomonCode(total_symbols=n, data_symbols=k)
+    reference_codec = (
+        rs_reference.ReferenceReedSolomonCode(total_symbols=n, data_symbols=k)
+        if rs_reference is not None
+        else ReedSolomonCode(total_symbols=n, data_symbols=k)
+    )
+
+    def measure(code, blob, corruptions, repeat):
+        encode_time, fragments = _time_call(code.encode, blob, repeat=repeat)
+        received = _corrupt(fragments, corruptions)
+        decode_time, decoded = _time_call(code.decode, received, repeat=repeat)
+        assert decoded == blob
+        mb = len(blob) / 1e6
+        return {
+            "blob_bytes": len(blob),
+            "corrupted_fragments": corruptions,
+            "encode_mb_s": round(mb / encode_time, 3),
+            "decode_mb_s": round(mb / decode_time, 3),
+        }
+
+    clean_blob = bytes(rng.randrange(256) for _ in range(clean_size))
+    dirty_blob = bytes(rng.randrange(256) for _ in range(dirty_size))
+    report = {
+        "n": n,
+        "k": k,
+        "optimized_clean": measure(codec, clean_blob, 0, repeat=3),
+        # The small-blob entries exist so speedup ratios divide measurements
+        # of the *same* workload (the reference codec cannot afford the big
+        # clean blob; fixed per-call overhead would bias a cross-size ratio).
+        "optimized_small_clean": measure(codec, dirty_blob, 0, repeat=3),
+        "optimized_corrupted": measure(codec, dirty_blob, 3, repeat=2),
+        "reference_clean": measure(reference_codec, dirty_blob, 0, repeat=2),
+        "reference_corrupted": measure(reference_codec, dirty_blob, 3, repeat=1),
+    }
+    reference_is_live = rs_reference is not None
+    report["reference_is_distinct"] = reference_is_live
+    if reference_is_live:
+        report["encode_speedup_vs_reference"] = round(
+            report["optimized_small_clean"]["encode_mb_s"]
+            / report["reference_clean"]["encode_mb_s"],
+            2,
+        )
+        report["decode_speedup_vs_reference"] = round(
+            report["optimized_small_clean"]["decode_mb_s"]
+            / report["reference_clean"]["decode_mb_s"],
+            2,
+        )
+        report["corrupted_decode_speedup_vs_reference"] = round(
+            report["optimized_corrupted"]["decode_mb_s"]
+            / report["reference_corrupted"]["decode_mb_s"],
+            2,
+        )
+    return report
+
+
+# ----------------------------------------------------------------------
+# 3. Scenario-matrix wall clock
+# ----------------------------------------------------------------------
+_MATRIX_SLICE = (
+    ("binary", "crash", "eventual"),
+    ("binary", "equivocation", "synchronous"),
+    ("quad", "silent", "eventual"),
+    ("universal-authenticated", "silent", "synchronous"),
+    ("universal-authenticated", "equivocation", "jittered"),
+    ("universal-compact", "none", "synchronous"),
+    ("universal-compact", "silent", "eventual"),
+    ("universal-non-authenticated", "silent", "synchronous"),
+)
+
+
+def bench_matrix(quick: bool) -> dict:
+    scenarios = [make_scenario(p, a, d) for p, a, d in _MATRIX_SLICE]
+    seeds = sweep_seeds(1 if quick else 3)
+    with Runner(parallel=4, timeout=300.0) as runner:
+        started = time.perf_counter()
+        results = runner.run(scenarios, seeds)
+        elapsed = time.perf_counter() - started
+    failures = [result.scenario for result in results if not result.ok]
+    return {
+        "scenarios": len(scenarios),
+        "seeds": len(seeds),
+        "runs": len(results),
+        "failures": failures,
+        "seconds": round(elapsed, 3),
+        "runs_per_sec": round(len(results) / elapsed, 3),
+    }
+
+
+# ----------------------------------------------------------------------
+# Harness
+# ----------------------------------------------------------------------
+def measure(quick: bool) -> dict:
+    return {
+        "quick": quick,
+        "event_core": bench_event_core(quick),
+        "reed_solomon": bench_reed_solomon(quick),
+        "matrix": bench_matrix(quick),
+    }
+
+
+def check_against(measured: dict, committed_path: pathlib.Path, max_regression: float) -> int:
+    committed = json.loads(committed_path.read_text())
+    stored = committed.get("after", committed)
+    stored_eps = stored["event_core"]["events_per_sec"]
+    measured_eps = measured["event_core"]["events_per_sec"]
+    floor = stored_eps * (1.0 - max_regression)
+    print(
+        f"events/sec: measured {measured_eps:.0f}, committed {stored_eps:.0f}, "
+        f"floor {floor:.0f} ({max_regression:.0%} regression budget)"
+    )
+    if measured["matrix"]["failures"]:
+        print(f"FAIL: matrix slice runs failed: {measured['matrix']['failures']}")
+        return 1
+    if measured_eps < floor:
+        print("FAIL: event-core throughput regressed beyond the budget")
+        return 1
+    print("ok: no hot-path regression")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description="hot-path wall-clock benchmarks")
+    parser.add_argument("--quick", action="store_true", help="reduced sizes for CI smoke runs")
+    parser.add_argument("--output", type=pathlib.Path, default=None, help="write the measurement JSON")
+    parser.add_argument(
+        "--check", type=pathlib.Path, default=None, help="compare against a committed BENCH_hotpath.json"
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.30,
+        help="allowed fractional events/sec drop vs the committed baseline (default 0.30)",
+    )
+    args = parser.parse_args(argv)
+
+    measured = measure(quick=args.quick)
+    print(json.dumps(measured, indent=2, sort_keys=True))
+    if args.output is not None:
+        args.output.write_text(json.dumps(measured, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {args.output}")
+    if args.check is not None:
+        return check_against(measured, args.check, args.max_regression)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

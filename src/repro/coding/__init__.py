@@ -1,7 +1,19 @@
-"""Erasure/error-correcting coding substrate: GF(256), Reed-Solomon, and ADD."""
+"""Erasure/error-correcting coding substrate: GF(256), Reed-Solomon, and ADD.
 
-from . import gf256
+:mod:`repro.coding.gf256` / :mod:`repro.coding.reed_solomon` are the
+vectorized production implementations; :mod:`repro.coding.reference` keeps
+the original element-at-a-time codec as the differential-testing oracle.
+"""
+
+from . import gf256, reference
 from .add import AsynchronousDataDissemination
 from .reed_solomon import DecodingError, Fragment, ReedSolomonCode
 
-__all__ = ["gf256", "ReedSolomonCode", "Fragment", "DecodingError", "AsynchronousDataDissemination"]
+__all__ = [
+    "gf256",
+    "reference",
+    "ReedSolomonCode",
+    "Fragment",
+    "DecodingError",
+    "AsynchronousDataDissemination",
+]

@@ -13,6 +13,21 @@ processes.  This module provides exactly that primitive:
 
 Blobs longer than ``k`` bytes are striped: byte ``j`` of fragment ``i`` is the
 ``i``-th coded symbol of the ``j``-th chunk of ``k`` data bytes.
+
+This is the vectorized implementation: instead of evaluating one chunk at a
+time with scalar field calls, it lays the blob out as ``k`` coefficient rows
+(``bytes`` objects spanning every chunk) and drives Horner's rule, Lagrange
+interpolation and the Gaussian eliminations through whole-row
+``bytes.translate`` / big-integer-XOR operations (see
+:mod:`repro.coding.gf256`).  Decoding first interpolates through the first
+``k`` received fragments and verifies the candidate against *all* received
+symbols row-wise; chunks where every symbol matches are provably identical
+to the Berlekamp-Welch answer (two degree ``< k`` polynomials with ``<= e``
+mismatches over ``m >= k + 2e`` points agree on ``>= k`` points and are
+therefore equal), and only chunks with a detected mismatch fall back to the
+exact per-chunk Berlekamp-Welch solve.  The retained element-at-a-time
+implementation in :mod:`repro.coding.reference` is the differential-test
+oracle for all of this.
 """
 
 from __future__ import annotations
@@ -22,43 +37,58 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from . import gf256
 
+_MUL = gf256.MUL_TABLE
+_INVERSE = gf256._INVERSE
+
 
 class DecodingError(ValueError):
     """Raised when the received symbols cannot be decoded consistently."""
 
 
-def _solve_linear_system(matrix: List[List[int]], rhs: List[int]) -> Optional[List[int]]:
-    """Solve ``matrix * x = rhs`` over GF(256) by Gaussian elimination.
+def _xor(a: bytes, b: bytes, length: int) -> bytes:
+    return (int.from_bytes(a, "little") ^ int.from_bytes(b, "little")).to_bytes(length, "little")
 
-    Returns one solution (free variables set to zero) or ``None`` when the
-    system is inconsistent.
+
+def _solve_augmented(augmented: List[bytearray], cols: int) -> Optional[List[int]]:
+    """Solve the augmented system (last column = RHS) over GF(256) in place.
+
+    Row-vectorized Gaussian elimination: scaling a row is one ``translate``
+    over the pivot's inverse row, eliminating is one translate plus one
+    big-integer XOR.  Pivot selection, the free-variables-to-zero convention
+    and the consistency check mirror :mod:`repro.coding.reference` exactly,
+    so the returned solution is identical element for element.
     """
-    rows = len(matrix)
-    cols = len(matrix[0]) if rows else 0
-    augmented = [list(row) + [value] for row, value in zip(matrix, rhs)]
+    rows = len(augmented)
+    width = cols + 1
     pivot_columns: List[int] = []
     pivot_row = 0
     for column in range(cols):
-        pivot = next((r for r in range(pivot_row, rows) if augmented[r][column] != 0), None)
+        pivot = next((r for r in range(pivot_row, rows) if augmented[r][column]), None)
         if pivot is None:
             continue
         augmented[pivot_row], augmented[pivot] = augmented[pivot], augmented[pivot_row]
-        inverse = gf256.inverse(augmented[pivot_row][column])
-        augmented[pivot_row] = [gf256.multiply(value, inverse) for value in augmented[pivot_row]]
+        lead = augmented[pivot_row][column]
+        if lead != 1:
+            augmented[pivot_row] = bytearray(augmented[pivot_row].translate(_MUL[_INVERSE[lead]]))
+        pivot_bytes = bytes(augmented[pivot_row])
+        pivot_int = int.from_bytes(pivot_bytes, "little")
         for row in range(rows):
-            if row != pivot_row and augmented[row][column] != 0:
+            if row != pivot_row and augmented[row][column]:
                 factor = augmented[row][column]
-                augmented[row] = [
-                    gf256.subtract(value, gf256.multiply(factor, pivot_value))
-                    for value, pivot_value in zip(augmented[row], augmented[pivot_row])
-                ]
+                if factor == 1:
+                    scaled = pivot_int
+                else:
+                    scaled = int.from_bytes(pivot_bytes.translate(_MUL[factor]), "little")
+                augmented[row] = bytearray(
+                    (int.from_bytes(augmented[row], "little") ^ scaled).to_bytes(width, "little")
+                )
         pivot_columns.append(column)
         pivot_row += 1
         if pivot_row == rows:
             break
     # Consistency check: a zero row with non-zero RHS means no solution.
     for row in range(pivot_row, rows):
-        if all(value == 0 for value in augmented[row][:cols]) and augmented[row][cols] != 0:
+        if augmented[row][cols] != 0 and not any(augmented[row][column] for column in range(cols)):
             return None
     solution = [0] * cols
     for row, column in enumerate(pivot_columns):
@@ -95,6 +125,7 @@ class ReedSolomonCode:
         self.total_symbols = total_symbols
         self.data_symbols = data_symbols
         self.evaluation_points = list(range(1, total_symbols + 1))
+        self._basis_cache: Dict[Tuple[int, ...], List[List[int]]] = {}
 
     # ------------------------------------------------------------------
     def max_correctable_errors(self, received: int) -> int:
@@ -102,16 +133,29 @@ class ReedSolomonCode:
         return max(0, (received - self.data_symbols) // 2)
 
     def encode(self, blob: bytes) -> List[Fragment]:
-        """Encode ``blob`` into one fragment per symbol index."""
-        chunks = self._chunk(blob)
-        per_index: List[List[int]] = [[] for _ in range(self.total_symbols)]
-        for chunk in chunks:
-            for position, point in enumerate(self.evaluation_points):
-                per_index[position].append(gf256.poly_eval(chunk, point))
-        return [
-            Fragment(index=index, symbols=tuple(symbols), blob_length=len(blob))
-            for index, symbols in enumerate(per_index)
-        ]
+        """Encode ``blob`` into one fragment per symbol index.
+
+        The blob is laid out as ``k`` coefficient rows spanning every chunk
+        (``rows[r][j]`` is coefficient ``r`` of chunk ``j``); each evaluation
+        point then costs ``k - 1`` Horner steps of one row-translate plus one
+        row-XOR, regardless of how many chunks there are.
+        """
+        k = self.data_symbols
+        blob = bytes(blob)
+        chunk_count = self._chunk_count(len(blob))
+        padded = blob + bytes(chunk_count * k - len(blob))
+        rows = [padded[row::k] for row in range(k)]
+        blob_length = len(blob)
+        fragments = []
+        for index, point in enumerate(self.evaluation_points):
+            point_row = _MUL[point]
+            accumulator = rows[k - 1]
+            for row in range(k - 2, -1, -1):
+                accumulator = _xor(accumulator.translate(point_row), rows[row], chunk_count)
+            fragments.append(
+                Fragment(index=index, symbols=tuple(accumulator), blob_length=blob_length)
+            )
+        return fragments
 
     def decode(self, fragments: Sequence[Fragment]) -> bytes:
         """Reconstruct the blob from fragments, correcting up to ``(m - k) / 2`` corrupted ones.
@@ -148,48 +192,139 @@ class ReedSolomonCode:
                 last_error = DecodingError("not enough fragments with a consistent shape")
                 continue
             try:
-                data = bytearray()
-                for chunk_index in range(chunk_count):
-                    points = [
-                        (self.evaluation_points[index], fragment.symbols[chunk_index])
-                        for index, fragment in sorted(usable.items())
-                    ]
-                    coefficients = self._berlekamp_welch(points)
-                    data.extend(coefficients)
-                return bytes(data[:blob_length])
+                return self._decode_shape(usable, blob_length, chunk_count)
             except DecodingError as error:
                 last_error = error
         raise last_error if last_error is not None else DecodingError("no decodable fragment shape")
 
     # ------------------------------------------------------------------
+    def _decode_shape(
+        self, usable: Dict[int, Fragment], blob_length: int, chunk_count: int
+    ) -> bytes:
+        """Decode one consistent fragment shape (may raise :class:`DecodingError`)."""
+        k = self.data_symbols
+        ordered = sorted(usable.items())
+        points = [self.evaluation_points[index] for index, _ in ordered]
+        symbol_rows = [bytes(fragment.symbols) for _, fragment in ordered]
+
+        # Fast path: interpolate through the first k fragments across every
+        # chunk at once, then verify the candidate against every received
+        # symbol row-wise.  Chunks that verify cleanly are provably the
+        # Berlekamp-Welch answer; the rest are re-solved exactly below.
+        basis = self._interpolation_basis(tuple(points[:k]))
+        zero = bytes(chunk_count)
+        coefficient_rows: List[bytes] = []
+        for row in range(k):
+            accumulator = zero
+            basis_row = basis[row]
+            for i in range(k):
+                weight = basis_row[i]
+                if weight:
+                    accumulator = _xor(
+                        accumulator, symbol_rows[i].translate(_MUL[weight]), chunk_count
+                    )
+            coefficient_rows.append(accumulator)
+        mismatch_mask = 0
+        for point, symbol_row in zip(points, symbol_rows):
+            point_row = _MUL[point]
+            evaluated = coefficient_rows[k - 1]
+            for row in range(k - 2, -1, -1):
+                evaluated = _xor(evaluated.translate(point_row), coefficient_rows[row], chunk_count)
+            mismatch_mask |= int.from_bytes(evaluated, "little") ^ int.from_bytes(
+                symbol_row, "little"
+            )
+
+        data = bytearray(chunk_count * k)
+        for row in range(k):
+            data[row::k] = coefficient_rows[row]
+        if mismatch_mask:
+            # Some chunk disagrees somewhere: run the exact Berlekamp-Welch
+            # recovery for precisely those chunks.
+            mismatched = mismatch_mask.to_bytes(chunk_count, "little")
+            for chunk_index in range(chunk_count):
+                if mismatched[chunk_index]:
+                    coefficients = self._berlekamp_welch(
+                        points, [symbol_row[chunk_index] for symbol_row in symbol_rows]
+                    )
+                    data[chunk_index * k : (chunk_index + 1) * k] = bytes(coefficients)
+        return bytes(data[:blob_length])
+
+    def _interpolation_basis(self, points: Tuple[int, ...]) -> List[List[int]]:
+        """The inverse Vandermonde of ``points``: ``coeffs = basis @ symbols``.
+
+        ``basis[r][i]`` is the weight of symbol ``i`` in coefficient ``r`` of
+        the unique degree ``< k`` polynomial through the ``k`` points.  Cached
+        per point-subset, since a sweep decodes from the same subsets over
+        and over.
+        """
+        cached = self._basis_cache.get(points)
+        if cached is not None:
+            return cached
+        k = len(points)
+        # Invert the Vandermonde matrix V[i][r] = points[i] ** r by Gaussian
+        # elimination on [V | I]; then coeffs = V^-1 @ ys.
+        augmented = []
+        for i, x in enumerate(points):
+            row = [0] * (2 * k)
+            value = 1
+            for r in range(k):
+                row[r] = value
+                value = _MUL[value][x]
+            row[k + i] = 1
+            augmented.append(row)
+        for column in range(k):
+            pivot = next(r for r in range(column, k) if augmented[r][column])
+            augmented[column], augmented[pivot] = augmented[pivot], augmented[column]
+            lead_row = _MUL[_INVERSE[augmented[column][column]]]
+            augmented[column] = [lead_row[value] for value in augmented[column]]
+            for row in range(k):
+                if row != column and augmented[row][column]:
+                    factor_row = _MUL[augmented[row][column]]
+                    augmented[row] = [
+                        value ^ factor_row[pivot_value]
+                        for value, pivot_value in zip(augmented[row], augmented[column])
+                    ]
+        basis = [[augmented[r][k + i] for i in range(k)] for r in range(k)]
+        self._basis_cache[points] = basis
+        return basis
+
     def _chunk_count(self, blob_length: int) -> int:
         return max(1, -(-blob_length // self.data_symbols))
 
-    def _chunk(self, blob: bytes) -> List[List[int]]:
-        padded_length = self._chunk_count(len(blob)) * self.data_symbols
-        padded = blob + bytes(padded_length - len(blob))
-        return [
-            list(padded[start : start + self.data_symbols])
-            for start in range(0, padded_length, self.data_symbols)
-        ]
+    def _berlekamp_welch(self, points: Sequence[int], symbols: Sequence[int]) -> List[int]:
+        """Recover one chunk's data polynomial from ``(x, y)`` pairs with errors.
 
-    def _berlekamp_welch(self, points: Sequence[Tuple[int, int]]) -> List[int]:
-        """Recover the data polynomial from ``(x, y)`` points with errors."""
+        Identical algorithm to the reference implementation (same error-count
+        descent, same matrix layout, same free-variable convention), with the
+        linear algebra running on bytearray rows.
+        """
         received = len(points)
         k = self.data_symbols
-        for errors in range(self.max_correctable_errors(received), -1, -1):
+        max_errors = self.max_correctable_errors(received)
+        # powers[i][j] = points[i] ** j, shared by every error-count attempt.
+        max_power = max_errors + k
+        powers = []
+        for x in points:
+            row = [1] * (max_power + 1)
+            value = 1
+            for j in range(1, max_power + 1):
+                value = _MUL[value][x]
+                row[j] = value
+            powers.append(row)
+        for errors in range(max_errors, -1, -1):
             q_terms = errors + k
-            matrix: List[List[int]] = []
-            rhs: List[int] = []
-            for x, y in points:
-                row = [gf256.power(x, j) if x != 0 or j == 0 else 0 for j in range(q_terms)]
-                row += [
-                    gf256.multiply(y, gf256.power(x, j)) if x != 0 or j == 0 else (y if j == 0 else 0)
-                    for j in range(errors)
-                ]
-                matrix.append(row)
-                rhs.append(gf256.multiply(y, gf256.power(x, errors)) if x != 0 or errors == 0 else 0)
-            solution = _solve_linear_system(matrix, rhs)
+            width = q_terms + errors + 1
+            augmented = []
+            for i, y in enumerate(symbols):
+                power_row = powers[i]
+                y_row = _MUL[y]
+                row = bytearray(width)
+                row[:q_terms] = bytes(power_row[:q_terms])
+                for j in range(errors):
+                    row[q_terms + j] = y_row[power_row[j]]
+                row[q_terms + errors] = y_row[power_row[errors]]
+                augmented.append(row)
+            solution = _solve_augmented(augmented, q_terms + errors)
             if solution is None:
                 continue
             q_coefficients = solution[:q_terms]
@@ -198,9 +333,10 @@ class ReedSolomonCode:
             if any(value != 0 for value in remainder):
                 continue
             candidate = (quotient + [0] * k)[:k]
-            mismatches = sum(
-                1 for x, y in points if gf256.poly_eval(candidate, x) != y
-            )
+            mismatches = 0
+            for x, y in zip(points, symbols):
+                if gf256.poly_eval(candidate, x) != y:
+                    mismatches += 1
             if mismatches <= errors:
                 return candidate
         raise DecodingError("Berlekamp-Welch decoding failed: too many corrupted fragments")

@@ -23,6 +23,7 @@ shared with the benchmark suite, so BENCH numbers reproduce run-to-run.
 from .aggregate import (
     Distribution,
     ScenarioSummary,
+    StreamingAggregator,
     aggregate,
     check_baseline,
     diff_against_baseline,
@@ -30,6 +31,7 @@ from .aggregate import (
     load_baseline,
     results_to_json,
     summaries_to_json,
+    summaries_to_payload,
     write_baseline,
 )
 from .runner import DEFAULT_SEED, RunResult, Runner, canonical_value, execute_run, run_matrix, sweep_seeds
@@ -71,6 +73,7 @@ __all__ = [
     "DEFAULT_SEED",
     "sweep_seeds",
     "aggregate",
+    "StreamingAggregator",
     "Distribution",
     "ScenarioSummary",
     "write_baseline",
@@ -78,6 +81,7 @@ __all__ = [
     "check_baseline",
     "diff_against_baseline",
     "summaries_to_json",
+    "summaries_to_payload",
     "results_to_json",
     "growth_exponent",
 ]

@@ -76,6 +76,100 @@ class ScenarioSummary:
         return asdict(self)
 
 
+class _ScenarioAccumulator:
+    """Streaming per-scenario fold: counters plus the metric value lists.
+
+    Only the numeric distributions (needed for min/max/mean/median) are
+    retained per run — the :class:`RunResult` records themselves are not,
+    which is what lets a sweep aggregate while it streams instead of
+    materializing every record first.
+    """
+
+    __slots__ = (
+        "scenario",
+        "runs",
+        "errors",
+        "incomplete",
+        "agreement_violations",
+        "validity_violations",
+        "violation_total",
+        "messages",
+        "words",
+        "latency",
+    )
+
+    def __init__(self, scenario: str):
+        self.scenario = scenario
+        self.runs = 0
+        self.errors = 0
+        self.incomplete = 0
+        self.agreement_violations = 0
+        self.validity_violations = 0
+        self.violation_total = 0
+        self.messages: List[float] = []
+        self.words: List[float] = []
+        self.latency: List[float] = []
+
+    def add(self, result: RunResult) -> None:
+        self.runs += 1
+        self.violation_total += len(result.violations)
+        if result.error is not None:
+            self.errors += 1
+            return
+        # Finished runs feed the distributions and the correctness counters.
+        if not result.completed:
+            self.incomplete += 1
+        if result.agreement is False:
+            self.agreement_violations += 1
+        if result.validity_ok is False:
+            self.validity_violations += 1
+        self.messages.append(result.message_complexity)
+        self.words.append(result.communication_complexity)
+        if result.completed and result.decision_latency is not None:
+            self.latency.append(result.decision_latency)
+
+    def summary(self) -> ScenarioSummary:
+        return ScenarioSummary(
+            scenario=self.scenario,
+            runs=self.runs,
+            errors=self.errors,
+            incomplete=self.incomplete,
+            agreement_violations=self.agreement_violations,
+            validity_violations=self.validity_violations,
+            violation_total=self.violation_total,
+            messages=Distribution.from_values(self.messages),
+            words=Distribution.from_values(self.words),
+            latency=Distribution.from_values(self.latency),
+        )
+
+
+class StreamingAggregator:
+    """Folds :class:`RunResult` records into summaries one record at a time.
+
+    Built for :meth:`Runner.iter_runs`: feed results as the pool produces
+    them and call :meth:`summaries` at the end — identical output to
+    :func:`aggregate` over the full list, without holding the records.
+    """
+
+    def __init__(self) -> None:
+        self._accumulators: Dict[str, _ScenarioAccumulator] = {}
+
+    def add(self, result: RunResult) -> None:
+        accumulator = self._accumulators.get(result.scenario)
+        if accumulator is None:
+            accumulator = self._accumulators[result.scenario] = _ScenarioAccumulator(
+                result.scenario
+            )
+        accumulator.add(result)
+
+    def add_many(self, results: Iterable[RunResult]) -> None:
+        for result in results:
+            self.add(result)
+
+    def summaries(self) -> Dict[str, ScenarioSummary]:
+        return {name: acc.summary() for name, acc in self._accumulators.items()}
+
+
 def aggregate(results: Iterable[RunResult]) -> Dict[str, ScenarioSummary]:
     """Fold run records into per-scenario summaries (keyed by scenario name).
 
@@ -86,27 +180,13 @@ def aggregate(results: Iterable[RunResult]) -> Dict[str, ScenarioSummary]:
     which every correct process decided.  Treating a timed-out run's
     placeholder fields as data would let it pass for a clean, zero-latency
     run.
+
+    This is the one-shot wrapper over :class:`StreamingAggregator`; both
+    produce identical summaries.
     """
-    grouped: Dict[str, List[RunResult]] = {}
-    for result in results:
-        grouped.setdefault(result.scenario, []).append(result)
-    summaries: Dict[str, ScenarioSummary] = {}
-    for scenario, runs in grouped.items():
-        finished = [run for run in runs if run.error is None]
-        decided = [run for run in finished if run.completed and run.decision_latency is not None]
-        summaries[scenario] = ScenarioSummary(
-            scenario=scenario,
-            runs=len(runs),
-            errors=sum(1 for run in runs if run.error is not None),
-            incomplete=sum(1 for run in finished if not run.completed),
-            agreement_violations=sum(1 for run in finished if run.agreement is False),
-            validity_violations=sum(1 for run in finished if run.validity_ok is False),
-            violation_total=sum(len(run.violations) for run in runs),
-            messages=Distribution.from_values([run.message_complexity for run in finished]),
-            words=Distribution.from_values([run.communication_complexity for run in finished]),
-            latency=Distribution.from_values([run.decision_latency for run in decided]),
-        )
-    return summaries
+    aggregator = StreamingAggregator()
+    aggregator.add_many(results)
+    return aggregator.summaries()
 
 
 def summaries_to_payload(summaries: Dict[str, ScenarioSummary]) -> Dict[str, Any]:

@@ -26,7 +26,7 @@ import pathlib
 import sys
 from typing import List, Optional, Sequence
 
-from .aggregate import aggregate, check_baseline, results_to_json, summaries_to_payload, write_baseline
+from .aggregate import StreamingAggregator, check_baseline, results_to_json, summaries_to_payload, write_baseline
 from .runner import DEFAULT_SEED, Runner, sweep_seeds
 from .scenario import ADVERSARIES, DELAY_MODELS, PROTOCOLS, default_matrix, find_scenarios
 
@@ -110,12 +110,25 @@ def _command_run(args: argparse.Namespace) -> int:
     if args.diff_output is not None and args.check_baseline is None:
         print("error: --diff-output requires --check-baseline", file=sys.stderr)
         return 2
-    results = Runner(parallel=args.parallel, timeout=args.timeout).run(scenarios, seeds)
-    summaries = aggregate(results)
+    # Stream the sweep: results are aggregated (and failures collected) as
+    # the persistent pool produces them; the full record list is only
+    # materialized when --output needs it.
+    aggregator = StreamingAggregator()
+    failures = []
+    collected = [] if args.output is not None else None
+    run_count = 0
+    with Runner(parallel=args.parallel, timeout=args.timeout) as runner:
+        for result in runner.iter_runs(scenarios, seeds):
+            run_count += 1
+            aggregator.add(result)
+            if not result.ok:
+                failures.append(result)
+            if collected is not None:
+                collected.append(result)
+    summaries = aggregator.summaries()
 
-    failures = [result for result in results if not result.ok]
     if not args.quiet:
-        print(f"{len(results)} runs over {len(scenarios)} scenarios x {len(seeds)} seeds")
+        print(f"{run_count} runs over {len(scenarios)} scenarios x {len(seeds)} seeds")
         for name in sorted(summaries):
             summary = summaries[name]
             status = "ok" if summary.ok else "FAIL"
@@ -127,9 +140,9 @@ def _command_run(args: argparse.Namespace) -> int:
         reason = result.error or "; ".join(result.violations) or "incomplete"
         print(f"  FAILED {result.scenario} seed={result.seed}: {reason}", file=sys.stderr)
 
-    if args.output is not None:
-        args.output.write_text(results_to_json(results) + "\n")
-        print(f"wrote {len(results)} run records to {args.output}")
+    if collected is not None:
+        args.output.write_text(results_to_json(collected) + "\n")
+        print(f"wrote {len(collected)} run records to {args.output}")
 
     exit_code = 1 if failures else 0
     if args.check_baseline is not None:

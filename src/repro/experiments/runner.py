@@ -7,11 +7,17 @@ containers, so a serial sweep and a parallel sweep over the same pairs
 produce byte-identical :meth:`RunResult.canonical_json` — the guarantee the
 determinism test suite pins down and every regression baseline relies on.
 
-:class:`Runner` fans a sweep out over a ``multiprocessing`` pool (or runs it
-in-process) and always returns results in ``scenarios × seeds`` order.  An
+:class:`Runner` fans a sweep out over a **persistent** ``multiprocessing``
+pool (or runs it in-process): the pool is created once, lazily, and reused
+by every subsequent :meth:`Runner.run` / :meth:`Runner.iter_runs` call, so
+repeated sweeps pay worker startup once instead of per batch.  Work is
+dispatched with ``imap_unordered`` and a computed chunksize — workers never
+idle waiting for stragglers in other chunks — while a small reorder buffer
+still yields results in deterministic ``scenarios × seeds`` order.  An
 optional per-run wall-clock timeout is enforced with ``SIGALRM`` inside the
 worker, so a hung run is reported as an ``error`` record instead of stalling
-the sweep.
+the sweep.  Close the pool with :meth:`Runner.close`, use the runner as a
+context manager, or let it fall out of scope (garbage collection closes it).
 """
 
 from __future__ import annotations
@@ -212,6 +218,14 @@ def _execute_with_timeout(item: Tuple[ScenarioSpec, int, Optional[float]]) -> Ru
         signal.signal(signal.SIGALRM, previous)
 
 
+def _execute_indexed(
+    indexed_item: Tuple[int, Tuple[ScenarioSpec, int, Optional[float]]]
+) -> Tuple[int, RunResult]:
+    """Worker entry for unordered dispatch: tag each result with its slot."""
+    index, item = indexed_item
+    return index, _execute_with_timeout(item)
+
+
 def _effective_hash_seed() -> str:
     """The ``PYTHONHASHSEED`` value to pin for spawned workers.
 
@@ -245,6 +259,17 @@ def _pinned_hash_seed() -> Iterator[None]:
 
 class Runner:
     """Executes scenario sweeps, serially or across worker processes.
+
+    The worker pool is **persistent**: it is created lazily on the first
+    parallel sweep and reused by every later one, so callers that sweep in
+    phases (the CLI, benchmarks, parameter scans) pay pool startup exactly
+    once.  Use the runner as a context manager (or call :meth:`close`) to
+    release the workers deterministically; an unreferenced runner closes its
+    pool when garbage-collected.  Because workers snapshot the interpreter
+    at pool creation, anything registered in the scenario registries *after*
+    the first parallel sweep is invisible to them — register protocols /
+    adversaries / delay models before sweeping, or :meth:`close` the runner
+    to pick the additions up in a fresh pool.
 
     Args:
         parallel: Number of worker processes; ``None`` or ``0``/``1`` runs
@@ -288,32 +313,94 @@ class Runner:
         self.parallel = parallel
         self.timeout = timeout
         self.start_method = start_method
+        self._pool = None
+
+    # ------------------------------------------------------------------
+    # Pool lifecycle
+    # ------------------------------------------------------------------
+    def _ensure_pool(self):
+        """Create the persistent worker pool on first use, then reuse it."""
+        if self._pool is None:
+            method = self.start_method or (
+                "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+            )
+            context = multiprocessing.get_context(method)
+            if method == "fork":
+                # Fork keeps the parent's interpreter state (including the
+                # hash seed), which makes parallel results byte-identical to
+                # serial ones.
+                self._pool = context.Pool(processes=self.parallel)
+            else:
+                # Spawn/forkserver boot fresh interpreters: pin their hash
+                # seed so every worker hashes identically and the guarantee
+                # still holds.
+                with _pinned_hash_seed():
+                    self._pool = context.Pool(processes=self.parallel)
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the persistent pool down (a later sweep recreates it)."""
+        pool = self._pool
+        self._pool = None
+        if pool is not None:
+            pool.terminate()
+            pool.join()
+
+    def __enter__(self) -> "Runner":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - interpreter shutdown is untestable
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------
+    # Sweep execution
+    # ------------------------------------------------------------------
+    def iter_runs(
+        self, scenarios: Sequence[ScenarioSpec], seeds: Iterable[int] = (DEFAULT_SEED,)
+    ) -> Iterator[RunResult]:
+        """Yield results in ``scenarios × seeds`` order as they become available.
+
+        Parallel sweeps dispatch with ``imap_unordered`` (no worker ever
+        waits on another chunk's straggler) and reorder through a small
+        buffer, so the yielded sequence is deterministic while early results
+        can be aggregated before the sweep finishes.
+
+        Abandoning the iterator early does **not** cancel work already
+        dispatched to the pool: the remaining runs keep executing in the
+        workers (and a later sweep on this runner queues behind them).  If
+        you stop consuming a parallel sweep midway and do not want the rest,
+        call :meth:`close` to terminate the workers.
+        """
+        seed_list = list(seeds)
+        items = [(spec, seed, self.timeout) for spec in scenarios for seed in seed_list]
+        if not items:
+            return
+        if not self.parallel or self.parallel <= 1 or len(items) == 1:
+            for item in items:
+                yield _execute_with_timeout(item)
+            return
+        pool = self._ensure_pool()
+        workers = min(self.parallel, len(items))
+        chunksize = max(1, len(items) // (workers * 4))
+        pending: Dict[int, RunResult] = {}
+        next_index = 0
+        for index, result in pool.imap_unordered(_execute_indexed, enumerate(items), chunksize):
+            pending[index] = result
+            while next_index in pending:
+                yield pending.pop(next_index)
+                next_index += 1
 
     def run(
         self, scenarios: Sequence[ScenarioSpec], seeds: Iterable[int] = (DEFAULT_SEED,)
     ) -> List[RunResult]:
         """Run every scenario with every seed, in ``scenarios × seeds`` order."""
-        seed_list = list(seeds)
-        items = [(spec, seed, self.timeout) for spec in scenarios for seed in seed_list]
-        if not items:
-            return []
-        if not self.parallel or self.parallel <= 1 or len(items) == 1:
-            return [_execute_with_timeout(item) for item in items]
-        method = self.start_method or (
-            "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
-        )
-        context = multiprocessing.get_context(method)
-        workers = min(self.parallel, len(items))
-        if method == "fork":
-            # Fork keeps the parent's interpreter state (including the hash
-            # seed), which makes parallel results byte-identical to serial ones.
-            with context.Pool(processes=workers) as pool:
-                return pool.map(_execute_with_timeout, items)
-        # Spawn/forkserver boot fresh interpreters: pin their hash seed so
-        # every worker hashes identically and the guarantee still holds.
-        with _pinned_hash_seed():
-            with context.Pool(processes=workers) as pool:
-                return pool.map(_execute_with_timeout, items)
+        return list(self.iter_runs(scenarios, seeds))
 
 
 def run_matrix(
@@ -322,5 +409,6 @@ def run_matrix(
     parallel: Optional[int] = None,
     timeout: Optional[float] = None,
 ) -> List[RunResult]:
-    """Convenience wrapper: one call, one sweep."""
-    return Runner(parallel=parallel, timeout=timeout).run(scenarios, seeds)
+    """Convenience wrapper: one call, one sweep, pool released on return."""
+    with Runner(parallel=parallel, timeout=timeout) as runner:
+        return runner.run(scenarios, seeds)

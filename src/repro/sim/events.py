@@ -4,15 +4,31 @@ The simulator processes two kinds of events: message deliveries and local
 timer expirations.  Events are totally ordered by ``(time, sequence)`` where
 the sequence number breaks ties deterministically, so a simulation run is a
 pure function of its inputs (processes, delay model, seed).
+
+Hot-path layout: the event queue itself holds plain ``(time, sequence,
+kind, target, data)`` tuples — heap sifting then costs one C-level tuple
+comparison per level instead of a generated dataclass ``__lt__``, and since
+the sequence number is unique the comparison never reaches the non-ordered
+fields, preserving the exact ``(time, sequence)`` order of the original
+dataclass events.  :class:`Event` is a ``NamedTuple`` over the same five
+fields, so code that builds or inspects events by attribute keeps working
+and instances compare equal to the raw tuples in the queue.
+
+The payload classes (:class:`Envelope`, :class:`MessageDelivery`,
+:class:`TimerExpiry`) are allocated once per message/timer, which makes
+their constructors hot.  They are plain ``__slots__`` classes with
+handwritten ``__init__`` — a frozen dataclass would route every field
+through ``object.__setattr__``, roughly doubling the allocation cost — but
+they keep dataclass-style value equality, hashing and repr.  Treat them as
+immutable: nothing in the simulator mutates a payload after construction,
+and the metrics layer memoizes on payload identity.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Tuple
+from typing import Any, NamedTuple, Tuple
 
 
-@dataclass(frozen=True)
 class Envelope:
     """A routed protocol message.
 
@@ -22,40 +38,88 @@ class Envelope:
     the ``payload`` is the module-level message.
     """
 
-    path: Tuple[str, ...]
-    payload: Any
+    __slots__ = ("path", "payload")
+
+    def __init__(self, path: Tuple[str, ...], payload: Any):
+        self.path = path
+        self.payload = payload
 
     def stable_fields(self) -> tuple:
         return (self.path, self.payload)
 
+    def __repr__(self) -> str:
+        return f"Envelope(path={self.path!r}, payload={self.payload!r})"
 
-@dataclass(order=True)
-class Event:
-    """A scheduled simulator event."""
+    def __eq__(self, other: Any) -> bool:
+        if other.__class__ is Envelope:
+            return self.path == other.path and self.payload == other.payload
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((Envelope, self.path, self.payload))
+
+
+class Event(NamedTuple):
+    """A scheduled simulator event (interchangeable with the queue's raw tuples)."""
 
     time: float
     sequence: int
-    kind: str = field(compare=False)
-    target: int = field(compare=False)
-    data: Any = field(compare=False)
-
-    MESSAGE = "message"
-    TIMER = "timer"
+    kind: str
+    target: int
+    data: Any
 
 
-@dataclass(frozen=True)
+Event.MESSAGE = "message"
+Event.TIMER = "timer"
+
+
 class MessageDelivery:
     """Payload of a message-delivery event."""
 
-    sender: int
-    receiver: int
-    envelope: Envelope
-    send_time: float
+    __slots__ = ("sender", "receiver", "envelope", "send_time")
+
+    def __init__(self, sender: int, receiver: int, envelope: Envelope, send_time: float):
+        self.sender = sender
+        self.receiver = receiver
+        self.envelope = envelope
+        self.send_time = send_time
+
+    def __repr__(self) -> str:
+        return (
+            f"MessageDelivery(sender={self.sender!r}, receiver={self.receiver!r}, "
+            f"envelope={self.envelope!r}, send_time={self.send_time!r})"
+        )
+
+    def __eq__(self, other: Any) -> bool:
+        if other.__class__ is MessageDelivery:
+            return (
+                self.sender == other.sender
+                and self.receiver == other.receiver
+                and self.envelope == other.envelope
+                and self.send_time == other.send_time
+            )
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((MessageDelivery, self.sender, self.receiver, self.envelope, self.send_time))
 
 
-@dataclass(frozen=True)
 class TimerExpiry:
     """Payload of a timer event."""
 
-    path: Tuple[str, ...]
-    tag: Any
+    __slots__ = ("path", "tag")
+
+    def __init__(self, path: Tuple[str, ...], tag: Any):
+        self.path = path
+        self.tag = tag
+
+    def __repr__(self) -> str:
+        return f"TimerExpiry(path={self.path!r}, tag={self.tag!r})"
+
+    def __eq__(self, other: Any) -> bool:
+        if other.__class__ is TimerExpiry:
+            return self.path == other.path and self.tag == other.tag
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((TimerExpiry, self.path, self.tag))

@@ -111,15 +111,19 @@ class DelayModel:
         model) but never below the ``min_delay`` causality floor.
         """
         earliest = send_time + self.min_delay
-        latest = self.latest_delivery(send_time)
         candidate = self._candidate_delay(sender, receiver, send_time)
         if self.schedule_hook is not None:
             override = self.schedule_hook(sender, receiver, send_time, candidate)
             if override is not None:
                 candidate = override
-        chosen = max(candidate, earliest)
+        chosen = candidate if candidate > earliest else earliest
         if sender_correct:
-            chosen = min(chosen, latest)
+            # Inline latest_delivery(): this method is final, runs once per
+            # message, and the bound is two comparisons.
+            gst = self.gst
+            latest = (send_time if send_time > gst else gst) + self.delta
+            if chosen > latest:
+                chosen = latest
         return chosen
 
     def _candidate_delay(self, sender: int, receiver: int, send_time: float) -> float:
@@ -130,9 +134,10 @@ class DelayModel:
         ``[min_delay, delta]`` after GST, and uniformly over the full allowed
         window before GST.
         """
-        earliest = send_time + self.min_delay
+        min_delay = self.min_delay
+        earliest = send_time + min_delay
         if send_time >= self.gst:
-            return earliest + self._rng.random() * (self.delta - self.min_delay)
+            return earliest + self._rng.random() * (self.delta - min_delay)
         return earliest + self._rng.random() * (self.latest_delivery(send_time) - earliest)
 
 

@@ -181,10 +181,12 @@ class ProtocolModule:
         The broadcast costs ``n`` messages (or ``n - 1`` without self), which
         matches the accounting used by the paper's complexity statements.
         """
+        send = self.send
+        own_pid = self.pid
         for receiver in range(self.n):
-            if not include_self and receiver == self.pid:
+            if not include_self and receiver == own_pid:
                 continue
-            self.send(receiver, payload)
+            send(receiver, payload)
 
     def send_to_all(self, receivers: Iterable[int], payload: Any) -> None:
         """Send the same payload to an explicit set of receivers."""

@@ -5,12 +5,21 @@ model, the (simulated) PKI, the fault assignment, and the complexity
 metrics.  A run is fully deterministic given the system parameters, the
 delay model (including its seed) and the process implementations, which is
 what makes the complexity experiments reproducible.
+
+The event loop is the hottest code in the repository — every message and
+timer of every sweep run passes through it — so it is written tuple-first:
+queue entries are plain ``(time, sequence, kind, target, data)`` tuples
+(see :mod:`repro.sim.events`), dispatch is inlined into the loop, and the
+"all correct processes decided" stop condition is a counter maintained by
+:meth:`record_decision` instead of an O(n) scan after every event.  None of
+this changes the event order: regression baselines are byte-identical to
+the pre-optimization driver.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Dict, Iterable, List, Optional, Set, Tuple, Type
+from typing import Any, Callable, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from ..core.system import SystemConfig
 from ..crypto.signatures import KeyAuthority
@@ -18,6 +27,11 @@ from .events import Envelope, Event, MessageDelivery, TimerExpiry
 from .metrics import MetricsCollector
 from .network import DelayModel
 from .process import Process
+
+_MESSAGE = Event.MESSAGE
+_TIMER = Event.TIMER
+_START_PATH = ("__start__",)
+_heappush = heapq.heappush
 
 
 class SimulationError(RuntimeError):
@@ -39,9 +53,12 @@ class Simulation:
         self.authority = authority if authority is not None else KeyAuthority(system.n, seed=seed)
         self.metrics = MetricsCollector(gst=self.delay_model.gst)
         self.time = 0.0
+        self.events_processed = 0
         self.processes: Dict[int, Process] = {}
         self._correct: Set[int] = set()
-        self._queue: List[Event] = []
+        self._correct_view: Optional[FrozenSet[int]] = None
+        self._decided_correct = 0
+        self._queue: List[tuple] = []
         self._sequence = 0
         self._started = False
         self._start_times: Dict[int, float] = {}
@@ -70,6 +87,7 @@ class Simulation:
         self.processes[process.pid] = process
         if correct:
             self._correct.add(process.pid)
+            self._correct_view = None
         self._start_times[process.pid] = start_time
         return process
 
@@ -104,8 +122,16 @@ class Simulation:
         return pid in self._correct
 
     @property
-    def correct_processes(self) -> Set[int]:
-        return set(self._correct)
+    def correct_processes(self) -> FrozenSet[int]:
+        """The correct process indices, as a cached immutable view.
+
+        This is read inside hot predicates, so it must not copy: the view is
+        built once per topology change and shared between calls.
+        """
+        view = self._correct_view
+        if view is None:
+            view = self._correct_view = frozenset(self._correct)
+        return view
 
     @property
     def faulty_processes(self) -> Set[int]:
@@ -116,37 +142,48 @@ class Simulation:
     # ------------------------------------------------------------------
     def _push(self, time: float, kind: str, target: int, data: Any) -> None:
         self._sequence += 1
-        heapq.heappush(self._queue, Event(time=time, sequence=self._sequence, kind=kind, target=target, data=data))
+        _heappush(self._queue, (time, self._sequence, kind, target, data))
 
     def transmit(self, sender: int, receiver: int, envelope: Envelope) -> None:
         """Send a message from ``sender`` to ``receiver`` (called by processes)."""
         self.system.validate_process(receiver)
-        sender_correct = self.is_correct(sender)
+        send_time = self.time
+        sender_correct = sender in self._correct
         self.metrics.record_message(
             sender=sender,
-            send_time=self.time,
+            send_time=send_time,
             payload=envelope.payload,
             protocol=envelope.path,
             sender_correct=sender_correct,
         )
         # DelayModel.delivery_time is final and already enforces the
         # min_delay causality floor and the GST + delta contract.
-        delivery_time = self.delay_model.delivery_time(sender, receiver, self.time, sender_correct)
-        self._push(
-            delivery_time,
-            Event.MESSAGE,
-            receiver,
-            MessageDelivery(sender=sender, receiver=receiver, envelope=envelope, send_time=self.time),
+        delivery_time = self.delay_model.delivery_time(sender, receiver, send_time, sender_correct)
+        sequence = self._sequence + 1
+        self._sequence = sequence
+        _heappush(
+            self._queue,
+            (
+                delivery_time,
+                sequence,
+                _MESSAGE,
+                receiver,
+                MessageDelivery(sender, receiver, envelope, send_time),
+            ),
         )
 
     def schedule_timer(self, pid: int, delay: float, path: Tuple[str, ...], tag: Any) -> None:
         """Schedule a timer for a process (called by processes)."""
         if delay < 0:
             raise ValueError("timer delay must be non-negative")
-        self._push(self.time + delay, Event.TIMER, pid, TimerExpiry(path=path, tag=tag))
+        sequence = self._sequence + 1
+        self._sequence = sequence
+        _heappush(self._queue, (self.time + delay, sequence, _TIMER, pid, TimerExpiry(path, tag)))
 
     def record_decision(self, pid: int, value: Any) -> None:
-        if self.is_correct(pid):
+        if pid in self._correct:
+            if pid not in self.metrics.decisions:
+                self._decided_correct += 1
             self.metrics.record_decision(pid, self.time, value)
 
     # ------------------------------------------------------------------
@@ -154,7 +191,7 @@ class Simulation:
     # ------------------------------------------------------------------
     def _start_processes(self) -> None:
         for pid, process in self.processes.items():
-            self._push(self._start_times[pid], Event.TIMER, pid, TimerExpiry(path=("__start__",), tag=None))
+            self._push(self._start_times[pid], _TIMER, pid, TimerExpiry(path=_START_PATH, tag=None))
         self._started = True
 
     def run(
@@ -178,19 +215,35 @@ class Simulation:
         if not self._started:
             self._start_processes()
         processed = 0
-        while self._queue:
+        queue = self._queue
+        processes = self.processes
+        heappop = heapq.heappop
+        while queue:
             if processed >= max_events:
                 raise SimulationError(
                     f"simulation exceeded {max_events} events; the protocol is likely not terminating"
                 )
-            event = heapq.heappop(self._queue)
-            if until is not None and event.time > until:
+            event = heappop(queue)
+            event_time = event[0]
+            if until is not None and event_time > until:
                 # Leave the event unprocessed and stop: the horizon is reached.
-                heapq.heappush(self._queue, event)
+                heapq.heappush(queue, event)
                 break
-            self.time = max(self.time, event.time)
-            self._dispatch(event)
+            if event_time > self.time:
+                self.time = event_time
+            # Dispatch, inlined (this is the per-event hot path).
+            process = processes.get(event[3])
+            if process is not None:
+                if event[2] == _MESSAGE:
+                    process.deliver_message(event[4])
+                else:
+                    expiry = event[4]
+                    if expiry.path == _START_PATH:
+                        process.on_start()
+                    else:
+                        process.deliver_timer(expiry)
             processed += 1
+            self.events_processed += 1
             if stop_when is not None and stop_when(self):
                 break
         return self.metrics
@@ -198,27 +251,17 @@ class Simulation:
     def run_until_all_correct_decide(
         self, until: Optional[float] = None, max_events: int = 2_000_000
     ) -> MetricsCollector:
-        """Run until every correct process has decided (or the queue drains)."""
-        return self.run(
-            until=until,
-            max_events=max_events,
-            stop_when=lambda sim: all(
-                sim.processes[pid].has_decided() for pid in sim.correct_processes
-            ),
-        )
+        """Run until every correct process has decided (or the queue drains).
 
-    def _dispatch(self, event: Event) -> None:
-        process = self.processes.get(event.target)
-        if process is None:
-            return
-        if event.kind == Event.MESSAGE:
-            process.deliver_message(event.data)
-        elif event.kind == Event.TIMER:
-            expiry: TimerExpiry = event.data
-            if expiry.path == ("__start__",):
-                process.on_start()
-            else:
-                process.deliver_timer(expiry)
+        The stop condition costs O(1) per event: :meth:`record_decision`
+        maintains a counter of distinct decided correct processes, so no
+        per-event scan over all processes (and no per-call closure) is
+        needed.
+        """
+        return self.run(until=until, max_events=max_events, stop_when=self._all_correct_decided_probe)
+
+    def _all_correct_decided_probe(self, _simulation: Optional["Simulation"] = None) -> bool:
+        return self._decided_correct >= len(self._correct)
 
     # ------------------------------------------------------------------
     # Correctness checks used by tests and experiments

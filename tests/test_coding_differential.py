@@ -1,0 +1,197 @@
+"""Differential tests: optimized GF(256)/Reed-Solomon vs the retained reference.
+
+The hot-path PR rewrote :mod:`repro.coding.gf256` (table-driven, row-wise
+``bytes.translate`` operations) and :mod:`repro.coding.reed_solomon`
+(vectorized encode, interpolate-and-verify decode with a Berlekamp-Welch
+fallback).  The original element-at-a-time implementation is retained in
+:mod:`repro.coding.reference` as the oracle, and this suite pins the two
+byte-for-byte against each other on every path: scalar field ops over the
+whole field, the polynomial helpers, encode, and decode through clean,
+max-erasure, error-correcting, k=1 and failure paths.
+"""
+
+import random
+
+import pytest
+
+from repro.coding import Fragment, ReedSolomonCode, gf256
+from repro.coding import reference
+
+SEEDS = [2023, 2024, 2025]
+
+
+# ----------------------------------------------------------------------
+# Field arithmetic
+# ----------------------------------------------------------------------
+class TestScalarOpsMatchReference:
+    def test_multiply_matches_over_the_whole_field(self):
+        for a in range(256):
+            row = gf256.MUL_TABLE[a]
+            for b in range(256):
+                expected = reference.multiply(a, b)
+                assert gf256.multiply(a, b) == expected
+                assert row[b] == expected
+
+    def test_add_inverse_divide_power_match(self):
+        rng = random.Random(SEEDS[0])
+        for _ in range(2000):
+            a, b = rng.randrange(256), rng.randrange(256)
+            assert gf256.add(a, b) == reference.add(a, b)
+            assert gf256.subtract(a, b) == reference.subtract(a, b)
+            if a:
+                assert gf256.inverse(a) == reference.inverse(a)
+                assert gf256.divide(b, a) == reference.divide(b, a)
+                exponent = rng.randrange(-300, 300)
+                assert gf256.power(a, exponent) == reference.power(a, exponent)
+
+    def test_boundary_validation_matches(self):
+        for bad in (-1, 256, 1000):
+            with pytest.raises(ValueError):
+                gf256.add(bad, 0)
+            with pytest.raises(ValueError):
+                gf256.multiply(bad, 1)
+            with pytest.raises(ValueError):
+                gf256.scalar_multiply_row(bad, b"\x01")
+        with pytest.raises(ZeroDivisionError):
+            gf256.inverse(0)
+        with pytest.raises(ZeroDivisionError):
+            gf256.power(0, -1)
+
+    def test_row_operations_match_scalar_loops(self):
+        rng = random.Random(SEEDS[1])
+        for _ in range(50):
+            scalar = rng.randrange(256)
+            row = bytes(rng.randrange(256) for _ in range(rng.randrange(0, 200)))
+            expected = bytes(reference.multiply(scalar, value) for value in row)
+            assert gf256.scalar_multiply_row(scalar, row) == expected
+        left = bytes(rng.randrange(256) for _ in range(64))
+        right = bytes(rng.randrange(256) for _ in range(64))
+        assert gf256.xor_rows(left, right) == bytes(a ^ b for a, b in zip(left, right))
+        with pytest.raises(ValueError):
+            gf256.xor_rows(b"\x00", b"\x00\x00")
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+class TestPolynomialHelpersMatchReference:
+    def test_poly_helpers(self, seed):
+        rng = random.Random(seed)
+        for _ in range(300):
+            p = [rng.randrange(256) for _ in range(rng.randrange(1, 12))]
+            q = [rng.randrange(256) for _ in range(rng.randrange(1, 12))]
+            x = rng.randrange(256)
+            assert gf256.poly_eval(p, x) == reference.poly_eval(p, x)
+            assert gf256.poly_add(p, q) == reference.poly_add(p, q)
+            assert gf256.poly_multiply(p, q) == reference.poly_multiply(p, q)
+            assert gf256.poly_divmod(p, q) == reference.poly_divmod(p, q)
+
+    def test_poly_eval_accepts_any_sequence_without_copying(self, seed):
+        rng = random.Random(seed)
+        coefficients = bytes(rng.randrange(256) for _ in range(8))
+        x = rng.randrange(256)
+        assert gf256.poly_eval(coefficients, x) == reference.poly_eval(list(coefficients), x)
+        assert gf256.poly_eval(tuple(coefficients), x) == reference.poly_eval(list(coefficients), x)
+
+
+# ----------------------------------------------------------------------
+# Reed-Solomon codec
+# ----------------------------------------------------------------------
+def _pair(n, k):
+    return (
+        ReedSolomonCode(total_symbols=n, data_symbols=k),
+        reference.ReferenceReedSolomonCode(total_symbols=n, data_symbols=k),
+    )
+
+
+def _corrupt(fragments, indices, shift=101):
+    corrupted = list(fragments)
+    for index in indices:
+        fragment = corrupted[index]
+        corrupted[index] = Fragment(
+            index=fragment.index,
+            symbols=tuple((symbol + shift) % 256 for symbol in fragment.symbols),
+            blob_length=fragment.blob_length,
+        )
+    return corrupted
+
+
+def _outcome(codec, fragments):
+    try:
+        return ("ok", codec.decode(fragments))
+    except Exception as error:  # noqa: BLE001 - parity includes the failure mode
+        return (type(error).__name__, str(error))
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+class TestCodecMatchesReference:
+    def test_encode_byte_identical_across_shapes(self, seed):
+        rng = random.Random(seed)
+        for _ in range(40):
+            n = rng.randrange(1, 28)
+            k = rng.randrange(1, n + 1)
+            optimized, oracle = _pair(n, k)
+            blob = bytes(rng.randrange(256) for _ in range(rng.randrange(0, 150)))
+            assert optimized.encode(blob) == oracle.encode(blob)
+
+    def test_decode_parity_under_random_erasure_and_corruption(self, seed):
+        rng = random.Random(seed)
+        for _ in range(40):
+            n = rng.randrange(2, 24)
+            k = rng.randrange(1, n + 1)
+            optimized, oracle = _pair(n, k)
+            blob = bytes(rng.randrange(256) for _ in range(rng.randrange(1, 100)))
+            fragments = optimized.encode(blob)
+            received_count = rng.randrange(k, n + 1)
+            received = rng.sample(fragments, received_count)
+            # Anywhere from decodable to undecodable corruption levels.
+            corruption = rng.randrange(0, min(received_count, (received_count - k) // 2 + 2))
+            received = _corrupt(received, range(corruption))
+            assert _outcome(optimized, received) == _outcome(oracle, received)
+
+    def test_k_equals_one_paths(self, seed):
+        rng = random.Random(seed)
+        optimized, oracle = _pair(7, 1)
+        blob = bytes(rng.randrange(256) for _ in range(25))
+        fragments = optimized.encode(blob)
+        assert fragments == oracle.encode(blob)
+        assert optimized.decode(fragments[3:4]) == oracle.decode(fragments[3:4]) == blob
+        corrupted = _corrupt(fragments, (0, 1, 2))
+        assert _outcome(optimized, corrupted) == _outcome(oracle, corrupted)
+
+    def test_max_erasure_exactly_k_fragments(self, seed):
+        rng = random.Random(seed)
+        for n, k in ((7, 3), (10, 4), (5, 5)):
+            optimized, oracle = _pair(n, k)
+            blob = bytes(rng.randrange(256) for _ in range(3 * k + 1))
+            fragments = optimized.encode(blob)
+            subset = rng.sample(fragments, k)
+            assert optimized.decode(subset) == oracle.decode(subset) == blob
+
+    def test_error_correction_at_the_exact_bw_bound(self, seed):
+        rng = random.Random(seed)
+        n, k = 12, 4
+        optimized, oracle = _pair(n, k)
+        blob = bytes(rng.randrange(256) for _ in range(40))
+        fragments = optimized.encode(blob)
+        budget = optimized.max_correctable_errors(n)  # (12 - 4) // 2 == 4
+        at_bound = _corrupt(fragments, range(budget))
+        assert optimized.decode(at_bound) == oracle.decode(at_bound) == blob
+        beyond = _corrupt(fragments, range(budget + 1))
+        assert _outcome(optimized, beyond) == _outcome(oracle, beyond)
+
+    def test_length_lies_and_shape_mismatches(self, seed):
+        rng = random.Random(seed)
+        optimized, oracle = _pair(7, 3)
+        blob = bytes(rng.randrange(256) for _ in range(31))
+        fragments = list(optimized.encode(blob))
+        fragments[0] = Fragment(index=0, symbols=fragments[0].symbols, blob_length=9999)
+        fragments[1] = Fragment(index=1, symbols=fragments[1].symbols[:-2], blob_length=31)
+        assert _outcome(optimized, fragments) == _outcome(oracle, fragments)
+        assert optimized.decode(fragments) == blob
+
+    def test_empty_blob_and_insufficient_fragments(self, seed):
+        optimized, oracle = _pair(4, 2)
+        fragments = optimized.encode(b"")
+        assert fragments == oracle.encode(b"")
+        assert optimized.decode(fragments) == oracle.decode(fragments) == b""
+        assert _outcome(optimized, fragments[:1]) == _outcome(oracle, fragments[:1])
+        assert _outcome(optimized, []) == _outcome(oracle, [])
