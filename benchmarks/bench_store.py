@@ -1,0 +1,167 @@
+"""Run-store throughput harness: cold sweep vs warm (cache-served) sweep.
+
+PR 3 made individual runs ~4x faster; the run store's multiplier is never
+recomputing a run at all.  This harness quantifies that: it sweeps the full
+scenario matrix twice against one :class:`repro.store.RunStore` —
+
+1. **cold** — empty store, every run executed and persisted;
+2. **warm** — identical sweep, every run must be served from the store
+   (the harness *asserts* zero executions and byte-identical summaries,
+   so the measured speedup is also a correctness check);
+
+and reports wall-clock, runs/sec and the warm-vs-cold speedup, plus the
+store file size per run.  A third phase measures a **delta sweep** (half
+the matrix already stored), the nightly-CI shape the store exists for.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_store.py                # print JSON
+    PYTHONPATH=src python benchmarks/bench_store.py --quick        # matrix slice
+    PYTHONPATH=src python benchmarks/bench_store.py --output BENCH_store.json
+    PYTHONPATH=src python benchmarks/bench_store.py --check BENCH_store.json \
+        --min-speedup 10                                           # CI gate
+
+The committed ``BENCH_store.json`` records the full-matrix numbers;
+``--check`` fails when the warm speedup drops below ``--min-speedup``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import tempfile
+import time
+
+_SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.experiments import (  # noqa: E402
+    Runner,
+    StreamingAggregator,
+    default_matrix,
+    summaries_to_json,
+    sweep_seeds,
+)
+from repro.store import RunStore  # noqa: E402
+
+_QUICK_SLICE = 16  # scenarios from the matrix head when --quick
+
+
+def _sweep(runner: Runner, scenarios, seeds, store) -> tuple:
+    aggregator = StreamingAggregator()
+    count = 0
+    started = time.perf_counter()
+    for result in runner.iter_runs(scenarios, seeds, store=store):
+        aggregator.add(result)
+        count += 1
+    elapsed = time.perf_counter() - started
+    return elapsed, count, summaries_to_json(aggregator.summaries())
+
+
+def measure(quick: bool, seeds_per_scenario: int, parallel: int) -> dict:
+    scenarios = default_matrix()
+    if quick:
+        scenarios = scenarios[:_QUICK_SLICE]
+    seeds = sweep_seeds(seeds_per_scenario)
+    with tempfile.TemporaryDirectory(prefix="bench_store_") as tmp:
+        db = pathlib.Path(tmp) / "runs.db"
+        with Runner(parallel=parallel, timeout=300.0) as runner:
+            with RunStore(db) as store:
+                cold_seconds, cold_runs, cold_summaries = _sweep(runner, scenarios, seeds, store)
+                assert store.stats.hits == 0, "cold sweep must miss everything"
+            cold_bytes = db.stat().st_size
+
+            with RunStore(db) as store:
+                warm_seconds, warm_runs, warm_summaries = _sweep(runner, scenarios, seeds, store)
+                assert store.stats.misses == 0, "warm sweep must execute nothing"
+                assert store.stats.hits == warm_runs
+            assert warm_summaries == cold_summaries, "warm summaries must be byte-identical"
+
+            # Delta shape: half the matrix pre-stored under a fresh store,
+            # then the full sweep — what a nightly incremental sweep pays.
+            delta_db = pathlib.Path(tmp) / "delta.db"
+            with RunStore(delta_db) as store:
+                half = scenarios[: len(scenarios) // 2]
+                runner.run(half, seeds, store=store)
+            with RunStore(delta_db) as store:
+                delta_seconds, delta_runs, delta_summaries = _sweep(runner, scenarios, seeds, store)
+                assert delta_summaries == cold_summaries
+                delta_hits = store.stats.hits
+    return {
+        "quick": quick,
+        "scenarios": len(scenarios),
+        "seeds": len(seeds),
+        "parallel": parallel,
+        "cold": {
+            "runs": cold_runs,
+            "seconds": round(cold_seconds, 3),
+            "runs_per_sec": round(cold_runs / cold_seconds, 3),
+        },
+        "warm": {
+            "runs": warm_runs,
+            "seconds": round(warm_seconds, 3),
+            "runs_per_sec": round(warm_runs / warm_seconds, 3),
+            "cache_hits": warm_runs,
+        },
+        "delta_half_cached": {
+            "runs": delta_runs,
+            "cache_hits": delta_hits,
+            "seconds": round(delta_seconds, 3),
+        },
+        "store": {
+            "bytes": cold_bytes,
+            "bytes_per_run": round(cold_bytes / cold_runs, 1),
+        },
+        "speedup": {
+            "warm_vs_cold": round(cold_seconds / warm_seconds, 2),
+            "delta_vs_cold": round(cold_seconds / delta_seconds, 2),
+        },
+        "byte_identical_summaries": True,
+    }
+
+
+def check_against(measured: dict, committed_path: pathlib.Path, min_speedup: float) -> int:
+    committed = json.loads(committed_path.read_text())
+    stored = committed.get("speedup", {}).get("warm_vs_cold", 0.0)
+    measured_speedup = measured["speedup"]["warm_vs_cold"]
+    print(
+        f"warm-vs-cold speedup: measured {measured_speedup:.1f}x, committed {stored:.1f}x, "
+        f"floor {min_speedup:.1f}x"
+    )
+    if measured_speedup < min_speedup:
+        print("FAIL: warm sweeps no longer amortize the store")
+        return 1
+    print("ok: run store keeps its warm-sweep speedup")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description="run-store cold/warm throughput benchmark")
+    parser.add_argument("--quick", action="store_true", help=f"first {_QUICK_SLICE} scenarios only (CI smoke)")
+    parser.add_argument("--seeds", type=int, default=1, help="seeds per scenario (default 1)")
+    parser.add_argument("--parallel", type=int, default=4, help="worker processes for the cold sweep")
+    parser.add_argument("--output", type=pathlib.Path, default=None, help="write the measurement JSON")
+    parser.add_argument("--check", type=pathlib.Path, default=None, help="compare against a committed BENCH_store.json")
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=10.0,
+        help="required warm-vs-cold speedup when --check is given (default 10x)",
+    )
+    args = parser.parse_args(argv)
+
+    measured = measure(quick=args.quick, seeds_per_scenario=args.seeds, parallel=args.parallel)
+    print(json.dumps(measured, indent=2, sort_keys=True))
+    if args.output is not None:
+        args.output.write_text(json.dumps(measured, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {args.output}")
+    if args.check is not None:
+        return check_against(measured, args.check, args.min_speedup)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -88,22 +88,50 @@ def main() -> None:
     print()
 
     # ------------------------------------------------------------------
-    # 3. The experiment runner: sweep scenarios instead of hand-wiring runs.
+    # 3. The experiment runner + run store: sweep scenarios instead of
+    #    hand-wiring runs, and never compute the same run twice.
     # ------------------------------------------------------------------
+    import tempfile
+    import time
+
     from repro.experiments import DEFAULT_SEED, Runner, aggregate, make_scenario, sweep_seeds
+    from repro.store import RunStore
 
     scenarios = [
         make_scenario("universal-authenticated", adversary=adversary, delay=delay)
         for adversary in ("silent", "crash", "equivocation")
         for delay in ("synchronous", "eventual", "partition", "jittered")
     ]
-    results = Runner(parallel=2).run(scenarios, seeds=sweep_seeds(3, base=DEFAULT_SEED))
+    seeds = sweep_seeds(3, base=DEFAULT_SEED)
+
+    # Every run is a pure function of (scenario, seed, code), so results are
+    # content-addressed: the first sweep executes and persists, an identical
+    # second sweep is served entirely from the store — 0 runs executed.
+    with tempfile.TemporaryDirectory() as tmp:
+        store_path = pathlib.Path(tmp) / "runs.db"
+        with Runner(parallel=2) as runner:
+            with RunStore(store_path) as store:
+                started = time.perf_counter()
+                results = runner.run(scenarios, seeds, store=store)
+                cold_seconds = time.perf_counter() - started
+                cold_stats = store.stats
+            with RunStore(store_path) as store:  # reopen: a later process
+                started = time.perf_counter()
+                cached = runner.run(scenarios, seeds, store=store)
+                warm_seconds = time.perf_counter() - started
+                warm_stats = store.stats
 
     print("=== Experiments (parallel sweep, deterministic per (scenario, seed)) ===")
     for name, summary in sorted(aggregate(results).items()):
         print(f"{name:45s} runs={summary.runs} ok={summary.ok} "
               f"msgs mean={summary.messages.mean:.1f} latency mean={summary.latency.mean:.1f}")
-    print("full matrix: python -m repro.experiments --list")
+    identical = [a.canonical_json() for a in results] == [b.canonical_json() for b in cached]
+    print(f"cold sweep: {len(results)} runs executed in {cold_seconds:.2f}s "
+          f"(hits={cold_stats.hits}, stored={cold_stats.stored})")
+    print(f"warm sweep: {warm_stats.hits} cache hits, 0 executed, {warm_seconds:.3f}s "
+          f"({cold_seconds / max(warm_seconds, 1e-9):.0f}x) — byte-identical: {identical}")
+    print("full matrix: python -m repro.experiments --list "
+          "(persist sweeps with: python -m repro.experiments run --store runs.db)")
 
 
 if __name__ == "__main__":

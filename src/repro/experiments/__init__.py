@@ -13,7 +13,9 @@ an experiment subsystem:
 * :mod:`repro.experiments.aggregate` — per-scenario summary statistics and
   JSON regression baselines;
 * :mod:`repro.experiments.cli` — the ``python -m repro.experiments`` entry
-  point (``--list``, ``run``, baseline write/check).
+  point (``--list [--json]``, ``run`` with optional ``--store``/``--rerun``
+  persistence via :mod:`repro.store`, plus the store-backed ``report`` and
+  ``compare`` subcommands; baseline write/check).
 
 Seeds: every run is fully determined by its ``(scenario, seed)`` pair.
 :data:`DEFAULT_SEED` and :func:`sweep_seeds` are the single seeding path

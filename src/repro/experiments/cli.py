@@ -2,12 +2,25 @@
 
 Examples::
 
-    # Enumerate the registered scenario matrix
+    # Enumerate the registered scenario matrix (add --json for tooling)
     python -m repro.experiments --list
+    python -m repro.experiments --list --json
 
     # Parallel smoke sweep over a slice of the matrix, 2 seeds per scenario
     python -m repro.experiments run --protocol binary universal-authenticated \
         --adversary silent crash --seeds 2 --parallel 4
+
+    # Incremental sweep against a persistent run store: cache hits are
+    # served from runs.db, misses are executed and persisted, so an
+    # interrupted sweep resumes for free and a re-sweep executes nothing.
+    python -m repro.experiments run --store runs.db --seeds 3 --parallel 4
+    python -m repro.experiments run --store runs.db --seeds 3 --require-cached
+    python -m repro.experiments run --store runs.db --seeds 3 --rerun
+
+    # Aggregate and diff stored slices without re-running anything
+    python -m repro.experiments report --store runs.db --protocol binary
+    python -m repro.experiments compare --store runs.db \
+        --against benchmarks/baselines/scenario_matrix.json
 
     # Full matrix, write (or check) a regression baseline
     python -m repro.experiments run --seeds 3 --write-baseline baseline.json
@@ -24,11 +37,19 @@ import argparse
 import json
 import pathlib
 import sys
-from typing import List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from .aggregate import StreamingAggregator, check_baseline, results_to_json, summaries_to_payload, write_baseline
 from .runner import DEFAULT_SEED, Runner, sweep_seeds
-from .scenario import ADVERSARIES, DELAY_MODELS, PROTOCOLS, default_matrix, find_scenarios
+from .scenario import ADVERSARIES, DELAY_MODELS, PROTOCOLS, ScenarioSpec, default_matrix, find_scenarios
+
+
+def _add_slice_arguments(parser: argparse.ArgumentParser, with_scenario: bool = True) -> None:
+    if with_scenario:
+        parser.add_argument("--scenario", nargs="+", default=None, help="explicit scenario names")
+    parser.add_argument("--protocol", nargs="+", default=None, choices=sorted(PROTOCOLS))
+    parser.add_argument("--adversary", nargs="+", default=None, choices=sorted(ADVERSARIES))
+    parser.add_argument("--delay", nargs="+", default=None, choices=sorted(DELAY_MODELS))
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -37,13 +58,16 @@ def _build_parser() -> argparse.ArgumentParser:
         description="Sweep the protocol x adversary x delay scenario matrix.",
     )
     parser.add_argument("--list", action="store_true", help="enumerate registered scenarios and exit")
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="with --list: emit the matrix as machine-readable JSON (one record per "
+        "scenario with its content fingerprint — the same source of truth the run store keys on)",
+    )
     subparsers = parser.add_subparsers(dest="command")
 
     run = subparsers.add_parser("run", help="execute a sweep")
-    run.add_argument("--scenario", nargs="+", default=None, help="explicit scenario names")
-    run.add_argument("--protocol", nargs="+", default=None, choices=sorted(PROTOCOLS))
-    run.add_argument("--adversary", nargs="+", default=None, choices=sorted(ADVERSARIES))
-    run.add_argument("--delay", nargs="+", default=None, choices=sorted(DELAY_MODELS))
+    _add_slice_arguments(run)
     run.add_argument(
         "--seeds",
         default="1",
@@ -51,6 +75,23 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--parallel", type=int, default=None, metavar="W", help="worker processes (default: serial)")
     run.add_argument("--timeout", type=float, default=None, help="per-run wall-clock timeout in seconds")
+    run.add_argument(
+        "--store",
+        type=pathlib.Path,
+        default=None,
+        help="persistent run store (SQLite): serve cache hits, execute+persist misses",
+    )
+    run.add_argument(
+        "--rerun",
+        action="store_true",
+        help="with --store: recompute every requested run and refresh the store",
+    )
+    run.add_argument(
+        "--require-cached",
+        action="store_true",
+        help="with --store: exit non-zero unless every run was served from the store "
+        "(CI uses this to prove a warm sweep executes nothing)",
+    )
     run.add_argument("--output", type=pathlib.Path, default=None, help="write raw RunResult records as JSON")
     run.add_argument("--write-baseline", type=pathlib.Path, default=None, help="store the sweep summary")
     run.add_argument("--check-baseline", type=pathlib.Path, default=None, help="diff against a stored summary")
@@ -62,13 +103,61 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--tolerance", type=float, default=0.2, help="relative complexity tolerance for the diff")
     run.add_argument("--quiet", action="store_true", help="only print failures")
+
+    report = subparsers.add_parser("report", help="aggregate a stored slice into summary tables")
+    report.add_argument("--store", type=pathlib.Path, required=True, help="run store to read")
+    _add_slice_arguments(report)
+    report.add_argument(
+        "--any-code",
+        action="store_true",
+        help="include records stored under other code fingerprints (default: current code only)",
+    )
+    report.add_argument("--markdown", type=pathlib.Path, default=None, help="write the table as markdown")
+    report.add_argument("--json-output", type=pathlib.Path, default=None, help="write the summaries as JSON")
+    report.add_argument("--quiet", action="store_true", help="do not print the table to stdout")
+
+    compare = subparsers.add_parser(
+        "compare", help="diff a store against another store or a JSON baseline"
+    )
+    compare.add_argument("--store", type=pathlib.Path, required=True, help="run store to measure")
+    compare.add_argument(
+        "--against",
+        type=pathlib.Path,
+        required=True,
+        help="reference: another run store (SQLite) or a baseline JSON file",
+    )
+    compare.add_argument("--scenario", nargs="+", default=None, help="restrict both sides to these scenarios")
+    compare.add_argument("--tolerance", type=float, default=0.2, help="relative complexity tolerance")
+    compare.add_argument(
+        "--any-code", action="store_true", help="include records from other code fingerprints"
+    )
     return parser
 
 
 def _parse_seeds(raw: str) -> List[int]:
+    """Parse ``--seeds``: a positive count, or a comma list of distinct ints."""
     if "," in raw:
-        return [int(token) for token in raw.split(",") if token.strip()]
-    return list(sweep_seeds(int(raw)))
+        tokens = [token.strip() for token in raw.split(",") if token.strip()]
+        if not tokens:
+            raise ValueError(f"--seeds list {raw!r} contains no seeds")
+        try:
+            seeds = [int(token) for token in tokens]
+        except ValueError:
+            raise ValueError(f"--seeds list {raw!r} must contain only integers") from None
+        duplicates = sorted({seed for seed in seeds if seeds.count(seed) > 1})
+        if duplicates:
+            raise ValueError(
+                f"--seeds list {raw!r} repeats {duplicates}: every (scenario, seed) pair is "
+                "deterministic, so a repeated seed would just sweep the same runs twice"
+            )
+        return seeds
+    try:
+        count = int(raw)
+    except ValueError:
+        raise ValueError(f"--seeds expects a count or a comma list of integers, got {raw!r}") from None
+    if count < 1:
+        raise ValueError(f"--seeds count must be positive, got {count}")
+    return list(sweep_seeds(count))
 
 
 def _select_scenarios(args: argparse.Namespace):
@@ -84,8 +173,27 @@ def _select_scenarios(args: argparse.Namespace):
     ]
 
 
-def _command_list() -> int:
+def _scenario_record(spec: ScenarioSpec, fingerprint: str) -> Dict[str, Any]:
+    from ..store.fingerprint import spec_payload
+
+    record = spec_payload(spec)
+    record["params"] = dict(record["params"]) if record["params"] else {}
+    record["fingerprint"] = fingerprint
+    return record
+
+
+def _command_list(as_json: bool) -> int:
     matrix = default_matrix()
+    if as_json:
+        from ..store.fingerprint import FINGERPRINT_VERSION, code_fingerprint, scenario_fingerprint
+
+        payload = {
+            "fingerprint_version": FINGERPRINT_VERSION,
+            "code_fingerprint": code_fingerprint(),
+            "scenarios": [_scenario_record(spec, scenario_fingerprint(spec)) for spec in matrix],
+        }
+        print(json.dumps(payload, sort_keys=True, indent=2))
+        return 0
     print(f"{len(matrix)} registered scenarios (protocol+adversary+delay):")
     for spec in matrix:
         print(f"  {spec.describe()}")
@@ -96,20 +204,35 @@ def _command_list() -> int:
     return 0
 
 
+def _fail(message: str) -> int:
+    print(f"error: {message}", file=sys.stderr)
+    return 2
+
+
 def _command_run(args: argparse.Namespace) -> int:
     try:
         scenarios = _select_scenarios(args)
         seeds = _parse_seeds(args.seeds)
     except (KeyError, ValueError) as exc:
-        message = exc.args[0] if exc.args else str(exc)
-        print(f"error: {message}", file=sys.stderr)
-        return 2
+        return _fail(exc.args[0] if exc.args else str(exc))
     if not scenarios:
-        print("no scenarios selected", file=sys.stderr)
-        return 2
+        return _fail("no scenarios selected")
     if args.diff_output is not None and args.check_baseline is None:
-        print("error: --diff-output requires --check-baseline", file=sys.stderr)
-        return 2
+        return _fail("--diff-output requires --check-baseline")
+    if (args.rerun or args.require_cached) and args.store is None:
+        return _fail("--rerun/--require-cached only make sense with --store")
+    if args.rerun and args.require_cached:
+        return _fail("--rerun forces execution, which contradicts --require-cached")
+
+    store = None
+    if args.store is not None:
+        from ..store import RunStore, StoreFormatError
+
+        try:
+            store = RunStore(args.store)
+        except StoreFormatError as exc:
+            return _fail(str(exc))
+
     # Stream the sweep: results are aggregated (and failures collected) as
     # the persistent pool produces them; the full record list is only
     # materialized when --output needs it.
@@ -117,63 +240,153 @@ def _command_run(args: argparse.Namespace) -> int:
     failures = []
     collected = [] if args.output is not None else None
     run_count = 0
-    with Runner(parallel=args.parallel, timeout=args.timeout) as runner:
-        for result in runner.iter_runs(scenarios, seeds):
-            run_count += 1
-            aggregator.add(result)
-            if not result.ok:
-                failures.append(result)
-            if collected is not None:
-                collected.append(result)
-    summaries = aggregator.summaries()
+    try:
+        with Runner(parallel=args.parallel, timeout=args.timeout) as runner:
+            for result in runner.iter_runs(scenarios, seeds, store=store, rerun=args.rerun):
+                run_count += 1
+                aggregator.add(result)
+                if not result.ok:
+                    failures.append(result)
+                if collected is not None:
+                    collected.append(result)
+        summaries = aggregator.summaries()
 
+        if not args.quiet:
+            print(f"{run_count} runs over {len(scenarios)} scenarios x {len(seeds)} seeds")
+            for name in sorted(summaries):
+                summary = summaries[name]
+                status = "ok" if summary.ok else "FAIL"
+                print(
+                    f"  [{status}] {name}: msgs mean={summary.messages.mean:.1f} "
+                    f"words mean={summary.words.mean:.1f} latency mean={summary.latency.mean:.1f}"
+                )
+        for result in failures:
+            reason = result.error or "; ".join(result.violations) or "incomplete"
+            print(f"  FAILED {result.scenario} seed={result.seed}: {reason}", file=sys.stderr)
+
+        if collected is not None:
+            args.output.write_text(results_to_json(collected) + "\n")
+            print(f"wrote {len(collected)} run records to {args.output}")
+
+        exit_code = 1 if failures else 0
+        if store is not None:
+            stats = store.stats
+            executed = run_count - stats.hits
+            if args.rerun:
+                print(f"store {args.store}: {executed} runs recomputed (--rerun), {stats.stored} stored")
+            else:
+                print(f"store {args.store}: {stats.hits} cached, {executed} executed, {stats.stored} stored")
+            if args.require_cached and (stats.misses or stats.hits < run_count):
+                print(
+                    f"  REQUIRE-CACHED failed: {stats.misses} of {run_count} runs were not in the store",
+                    file=sys.stderr,
+                )
+                exit_code = 1
+        if args.check_baseline is not None:
+            regressions = check_baseline(summaries, args.check_baseline, args.tolerance)
+            for regression in regressions:
+                print(f"  REGRESSION {regression}", file=sys.stderr)
+            if args.diff_output is not None:
+                payload = {
+                    "baseline": str(args.check_baseline),
+                    "regressions": regressions,
+                    "failures": [result.to_dict() for result in failures],
+                    "measured": summaries_to_payload(summaries),
+                }
+                args.diff_output.write_text(json.dumps(payload, sort_keys=True, indent=2) + "\n")
+                print(f"wrote baseline diff to {args.diff_output}")
+            if regressions:
+                exit_code = 1
+            elif not args.quiet:
+                print(f"baseline {args.check_baseline}: no regressions")
+        if args.write_baseline is not None:
+            write_baseline(args.write_baseline, summaries)
+            print(f"wrote baseline for {len(summaries)} scenarios to {args.write_baseline}")
+        return exit_code
+    finally:
+        if store is not None:
+            store.close()
+
+
+def _command_report(args: argparse.Namespace) -> int:
+    from ..store import RunStore, StoreFormatError, render_markdown, render_table, summarize_store
+    from .aggregate import summaries_to_json
+
+    if not args.store.exists():
+        return _fail(f"store {args.store} does not exist")
+    try:
+        store = RunStore(args.store)
+    except StoreFormatError as exc:
+        return _fail(str(exc))
+    with store:
+        summaries = summarize_store(
+            store,
+            scenarios=args.scenario,
+            protocols=args.protocol,
+            adversaries=args.adversary,
+            delays=args.delay,
+            any_code=args.any_code,
+        )
+        stale = sum(
+            count for code_fp, count in store.code_fingerprints() if code_fp != store.code_fp
+        )
+    if not summaries:
+        hint = (
+            " (records exist under other code fingerprints; pass --any-code or --rerun the sweep)"
+            if stale and not args.any_code
+            else ""
+        )
+        return _fail(f"no stored records match the requested slice{hint}")
     if not args.quiet:
-        print(f"{run_count} runs over {len(scenarios)} scenarios x {len(seeds)} seeds")
-        for name in sorted(summaries):
-            summary = summaries[name]
-            status = "ok" if summary.ok else "FAIL"
-            print(
-                f"  [{status}] {name}: msgs mean={summary.messages.mean:.1f} "
-                f"words mean={summary.words.mean:.1f} latency mean={summary.latency.mean:.1f}"
+        print(render_table(summaries))
+        if stale and not args.any_code:
+            print(f"(+{stale} records under older code fingerprints; --any-code includes them)")
+    if args.markdown is not None:
+        args.markdown.write_text(render_markdown(summaries) + "\n")
+        print(f"wrote markdown report for {len(summaries)} scenarios to {args.markdown}")
+    if args.json_output is not None:
+        args.json_output.write_text(summaries_to_json(summaries) + "\n")
+        print(f"wrote JSON summaries for {len(summaries)} scenarios to {args.json_output}")
+    return 0
+
+
+def _command_compare(args: argparse.Namespace) -> int:
+    from ..store import RunStore, StoreFormatError, compare_with_reference
+
+    if not args.store.exists():
+        return _fail(f"store {args.store} does not exist")
+    if not args.against.exists():
+        return _fail(f"reference {args.against} does not exist")
+    try:
+        with RunStore(args.store) as store:
+            regressions = compare_with_reference(
+                store,
+                args.against,
+                relative_tolerance=args.tolerance,
+                scenarios=args.scenario,
+                any_code=args.any_code,
             )
-    for result in failures:
-        reason = result.error or "; ".join(result.violations) or "incomplete"
-        print(f"  FAILED {result.scenario} seed={result.seed}: {reason}", file=sys.stderr)
-
-    if collected is not None:
-        args.output.write_text(results_to_json(collected) + "\n")
-        print(f"wrote {len(collected)} run records to {args.output}")
-
-    exit_code = 1 if failures else 0
-    if args.check_baseline is not None:
-        regressions = check_baseline(summaries, args.check_baseline, args.tolerance)
-        for regression in regressions:
-            print(f"  REGRESSION {regression}", file=sys.stderr)
-        if args.diff_output is not None:
-            payload = {
-                "baseline": str(args.check_baseline),
-                "regressions": regressions,
-                "failures": [result.to_dict() for result in failures],
-                "measured": summaries_to_payload(summaries),
-            }
-            args.diff_output.write_text(json.dumps(payload, sort_keys=True, indent=2) + "\n")
-            print(f"wrote baseline diff to {args.diff_output}")
-        if regressions:
-            exit_code = 1
-        elif not args.quiet:
-            print(f"baseline {args.check_baseline}: no regressions")
-    if args.write_baseline is not None:
-        write_baseline(args.write_baseline, summaries)
-        print(f"wrote baseline for {len(summaries)} scenarios to {args.write_baseline}")
-    return exit_code
+    except (ValueError, StoreFormatError) as exc:
+        return _fail(str(exc))
+    for regression in regressions:
+        print(f"  REGRESSION {regression}", file=sys.stderr)
+    if regressions:
+        print(f"{len(regressions)} regressions against {args.against}", file=sys.stderr)
+        return 1
+    print(f"{args.store} vs {args.against}: no regressions")
+    return 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = _build_parser()
     args = parser.parse_args(argv)
     if args.list or args.command is None:
-        return _command_list()
+        return _command_list(args.json)
     if args.command == "run":
         return _command_run(args)
+    if args.command == "report":
+        return _command_report(args)
+    if args.command == "compare":
+        return _command_compare(args)
     parser.error(f"unknown command {args.command!r}")
     return 2  # pragma: no cover - parser.error raises

@@ -88,6 +88,31 @@ class RunResult:
         """A canonical serialisation: byte-identical for identical runs."""
         return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
 
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RunResult":
+        """Rebuild a record from its :meth:`to_dict` / JSON form.
+
+        The inverse the persistent run store relies on:
+        ``RunResult.from_dict(json.loads(r.canonical_json())) == r`` exactly,
+        so a cached record is byte-for-byte the run it stands in for.
+        """
+        return cls(
+            scenario=data["scenario"],
+            seed=data["seed"],
+            completed=data["completed"],
+            agreement=data["agreement"],
+            validity_ok=data["validity_ok"],
+            violations=tuple(data["violations"]),
+            decisions=tuple((pid, value) for pid, value in data["decisions"]),
+            message_complexity=data["message_complexity"],
+            communication_complexity=data["communication_complexity"],
+            total_messages=data["total_messages"],
+            total_words=data["total_words"],
+            byzantine_messages=data["byzantine_messages"],
+            decision_latency=data["decision_latency"],
+            error=data.get("error"),
+        )
+
 
 def canonical_value(value: Any) -> str:
     """Render a decision value as a stable string (repr for exotic types)."""
@@ -166,6 +191,13 @@ class _RunTimeout(Exception):
     pass
 
 
+TIMEOUT_ERROR_PREFIX = "timeout:"
+"""Marks a wall-clock timeout record.  A timeout is a *host* condition, not a
+function of the ``(scenario, seed, code)`` content key, so the run store uses
+this prefix to refuse to persist such records — keep the two in sync through
+this constant, never a literal."""
+
+
 _ALARM_ARMED = False
 # Guards against a late SIGALRM delivered after the run already finished: the
 # handler only raises while a run is armed, so a stray alarm during cleanup
@@ -194,7 +226,7 @@ def _timeout_result(spec: ScenarioSpec, seed: int, timeout: float) -> RunResult:
         total_words=0,
         byzantine_messages=0,
         decision_latency=None,
-        error=f"timeout: run exceeded {timeout}s wall clock",
+        error=f"{TIMEOUT_ERROR_PREFIX} run exceeded {timeout}s wall clock",
     )
 
 
@@ -319,7 +351,12 @@ class Runner:
     # Pool lifecycle
     # ------------------------------------------------------------------
     def _ensure_pool(self):
-        """Create the persistent worker pool on first use, then reuse it."""
+        """Create the persistent worker pool on first use, then reuse it.
+
+        ``self._pool`` is only assigned once the pool constructor returned,
+        so a failure mid-setup leaves the runner poolless (and a subsequent
+        :meth:`close` a clean no-op) instead of holding a half-built pool.
+        """
         if self._pool is None:
             method = self.start_method or (
                 "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
@@ -329,21 +366,30 @@ class Runner:
                 # Fork keeps the parent's interpreter state (including the
                 # hash seed), which makes parallel results byte-identical to
                 # serial ones.
-                self._pool = context.Pool(processes=self.parallel)
+                pool = context.Pool(processes=self.parallel)
             else:
                 # Spawn/forkserver boot fresh interpreters: pin their hash
                 # seed so every worker hashes identically and the guarantee
                 # still holds.
                 with _pinned_hash_seed():
-                    self._pool = context.Pool(processes=self.parallel)
+                    pool = context.Pool(processes=self.parallel)
+            self._pool = pool
         return self._pool
 
     def close(self) -> None:
-        """Shut the persistent pool down (a later sweep recreates it)."""
-        pool = self._pool
-        self._pool = None
-        if pool is not None:
+        """Shut the persistent pool down (a later sweep recreates it).
+
+        Idempotent and exception-safe: the pool reference is dropped before
+        teardown, so a second ``close`` (or a ``close`` after ``_ensure_pool``
+        failed and left no pool) is a no-op, and a worker that refuses to
+        terminate cleanly cannot leave the runner pointing at a dead pool.
+        """
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        with contextlib.suppress(Exception):
             pool.terminate()
+        with contextlib.suppress(Exception):
             pool.join()
 
     def __enter__(self) -> "Runner":
@@ -362,7 +408,12 @@ class Runner:
     # Sweep execution
     # ------------------------------------------------------------------
     def iter_runs(
-        self, scenarios: Sequence[ScenarioSpec], seeds: Iterable[int] = (DEFAULT_SEED,)
+        self,
+        scenarios: Sequence[ScenarioSpec],
+        seeds: Iterable[int] = (DEFAULT_SEED,),
+        *,
+        store: Optional[Any] = None,
+        rerun: bool = False,
     ) -> Iterator[RunResult]:
         """Yield results in ``scenarios × seeds`` order as they become available.
 
@@ -371,36 +422,84 @@ class Runner:
         buffer, so the yielded sequence is deterministic while early results
         can be aggregated before the sweep finishes.
 
-        Abandoning the iterator early does **not** cancel work already
-        dispatched to the pool: the remaining runs keep executing in the
-        workers (and a later sweep on this runner queues behind them).  If
-        you stop consuming a parallel sweep midway and do not want the rest,
-        call :meth:`close` to terminate the workers.
+        With a ``store`` (a :class:`repro.store.RunStore`), the sweep is
+        **incremental**: requested runs are partitioned into cache hits —
+        served straight from the store, no execution — and misses, which are
+        executed and then persisted, so an interrupted sweep resumes for
+        free and an identical re-sweep executes zero runs.  ``rerun=True``
+        skips the lookup and recomputes (and re-stores) everything.  Only
+        this parent process touches the store; workers just compute.
+
+        Abandoning the iterator early (``generator.close()``, a ``break``
+        that drops the last reference) terminates the worker pool: work
+        already dispatched cannot be un-sent, so letting it run would block
+        the next sweep behind results nobody will read.  The pending store
+        writes are flushed either way; a later call recreates the pool.
         """
         seed_list = list(seeds)
         items = [(spec, seed, self.timeout) for spec in scenarios for seed in seed_list]
         if not items:
             return
-        if not self.parallel or self.parallel <= 1 or len(items) == 1:
-            for item in items:
-                yield _execute_with_timeout(item)
-            return
-        pool = self._ensure_pool()
-        workers = min(self.parallel, len(items))
-        chunksize = max(1, len(items) // (workers * 4))
-        pending: Dict[int, RunResult] = {}
-        next_index = 0
-        for index, result in pool.imap_unordered(_execute_indexed, enumerate(items), chunksize):
-            pending[index] = result
-            while next_index in pending:
-                yield pending.pop(next_index)
-                next_index += 1
+        cached: Dict[int, RunResult] = {}
+        if store is not None and not rerun:
+            for index, (spec, seed, _timeout) in enumerate(items):
+                hit = store.get(spec, seed)
+                if hit is not None:
+                    cached[index] = hit
+        misses = [index for index in range(len(items)) if index not in cached]
+        try:
+            if not misses:
+                for index in range(len(items)):
+                    yield cached[index]
+                return
+            if not self.parallel or self.parallel <= 1 or len(misses) == 1:
+                for index in range(len(items)):
+                    result = cached.get(index)
+                    if result is None:
+                        result = _execute_with_timeout(items[index])
+                        if store is not None:
+                            store.put(items[index][0], result)
+                    yield result
+                return
+            pool = self._ensure_pool()
+            workers = min(self.parallel, len(misses))
+            chunksize = max(1, len(misses) // (workers * 4))
+            indexed = [(index, items[index]) for index in misses]
+            pending = cached  # hits wait in the reorder buffer alongside results
+            next_index = 0
+            try:
+                while next_index in pending:  # hits before the first miss: serve now
+                    yield pending.pop(next_index)
+                    next_index += 1
+                for index, result in pool.imap_unordered(_execute_indexed, indexed, chunksize):
+                    if store is not None:
+                        store.put(items[index][0], result)
+                    pending[index] = result
+                    while next_index in pending:
+                        yield pending.pop(next_index)
+                        next_index += 1
+                while next_index in pending:  # cache hits after the last miss
+                    yield pending.pop(next_index)
+                    next_index += 1
+            except GeneratorExit:
+                # The consumer walked away mid-sweep; release the workers so
+                # the undispatched remainder cannot stall a later sweep.
+                self.close()
+                raise
+        finally:
+            if store is not None:
+                store.flush()
 
     def run(
-        self, scenarios: Sequence[ScenarioSpec], seeds: Iterable[int] = (DEFAULT_SEED,)
+        self,
+        scenarios: Sequence[ScenarioSpec],
+        seeds: Iterable[int] = (DEFAULT_SEED,),
+        *,
+        store: Optional[Any] = None,
+        rerun: bool = False,
     ) -> List[RunResult]:
         """Run every scenario with every seed, in ``scenarios × seeds`` order."""
-        return list(self.iter_runs(scenarios, seeds))
+        return list(self.iter_runs(scenarios, seeds, store=store, rerun=rerun))
 
 
 def run_matrix(

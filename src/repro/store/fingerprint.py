@@ -1,0 +1,148 @@
+"""Content fingerprints: what makes a stored run result addressable.
+
+A :class:`~repro.experiments.runner.RunResult` is a pure function of three
+inputs, and the store keys every record by exactly those three:
+
+* **scenario fingerprint** — a SHA-256 over the *canonical* form of every
+  :class:`~repro.experiments.scenario.ScenarioSpec` field (name, registry
+  keys, ``n``/``t``, validity property, sorted params, horizon limits).
+  Two specs that would build the same execution hash identically no matter
+  how they were constructed; changing any knob changes the hash.
+* **seed** — stored as-is (it is already a stable integer).
+* **code fingerprint** — a SHA-256 over the source of the semantic layers a
+  run flows through: every module of the packages in
+  :data:`SEMANTIC_PACKAGES`, the scenario/runner modules themselves, and
+  the source of every *currently registered* protocol / adversary /
+  delay-model builder.  When any of that changes, the fingerprint changes
+  and every cached record is automatically invisible (stale entries stay in
+  the database under their old fingerprint; ``--rerun`` or a vacuum can
+  refresh them).  Hashing builder sources separately from the module tree
+  means even a builder monkeypatched at runtime invalidates the cache.
+
+The fingerprints deliberately exclude execution *infrastructure* — worker
+count, timeouts, pool start method — because those do not change what a run
+computes (a timed-out run is never persisted, see
+:meth:`~repro.store.store.RunStore.put`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import inspect
+import pathlib
+from functools import lru_cache
+from typing import Any, Dict, Mapping, Tuple
+
+from ..experiments.scenario import ADVERSARIES, DELAY_MODELS, PROTOCOLS, ScenarioSpec
+
+FINGERPRINT_VERSION = 1
+"""Bump to invalidate every existing fingerprint (format/semantics change)."""
+
+SEMANTIC_PACKAGES: Tuple[str, ...] = (
+    "core",
+    "crypto",
+    "sim",
+    "broadcast",
+    "coding",
+    "consensus",
+)
+"""``repro`` sub-packages whose source participates in the code fingerprint.
+
+These are the layers a run's events actually flow through.  Presentation
+layers (``analysis``, ``experiments.cli``, ``experiments.aggregate``, this
+``store`` package) are excluded: editing a report formatter must not throw
+away a database of results.
+"""
+
+_SEMANTIC_MODULES: Tuple[str, ...] = ("experiments/scenario.py", "experiments/runner.py")
+
+
+def canonical_form(value: Any) -> Any:
+    """Reduce a value to a JSON-serialisable canonical shape.
+
+    Tuples become lists, mapping keys become strings (JSON sorts them), and
+    anything exotic falls back to ``repr`` — the same convention
+    :func:`~repro.experiments.runner.canonical_value` uses for decisions.
+    """
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return value
+    if isinstance(value, Mapping):
+        return {str(key): canonical_form(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [canonical_form(item) for item in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted(repr(item) for item in value)
+    return repr(value)
+
+
+def spec_payload(spec: ScenarioSpec) -> Dict[str, Any]:
+    """Every spec field in canonical, JSON-ready form (the hashed payload)."""
+    return canonical_form(dataclasses.asdict(spec))
+
+
+def _digest(payload: Any) -> str:
+    import json
+
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def scenario_fingerprint(spec: ScenarioSpec) -> str:
+    """Stable content hash of one scenario specification."""
+    return _digest({"fingerprint_version": FINGERPRINT_VERSION, "spec": spec_payload(spec)})
+
+
+def _builder_source(builder: Any) -> str:
+    """Source text of a registered builder, or a stable stand-in.
+
+    ``repr`` would embed a memory address (different every process), so the
+    fallback names the function instead — stable, at the cost of missing a
+    semantic change in a source-less builder (C extension, exec'd code).
+    """
+    try:
+        return inspect.getsource(builder)
+    except (OSError, TypeError):
+        module = getattr(builder, "__module__", "?")
+        qualname = getattr(builder, "__qualname__", repr(type(builder)))
+        return f"<no-source {module}.{qualname}>"
+
+
+@lru_cache(maxsize=1)
+def _module_tree_digest() -> str:
+    """Hash of every semantic module file (computed once per process)."""
+    root = pathlib.Path(__file__).resolve().parent.parent  # src/repro
+    digest = hashlib.sha256()
+    paths = sorted(
+        path
+        for package in SEMANTIC_PACKAGES
+        for path in (root / package).rglob("*.py")
+    ) + [root / relative for relative in _SEMANTIC_MODULES]
+    for path in paths:
+        digest.update(str(path.relative_to(root)).encode("utf-8"))
+        digest.update(b"\x00")
+        digest.update(path.read_bytes())
+        digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+def code_fingerprint() -> str:
+    """Hash of the current run-semantics code: module tree + live registries.
+
+    Cheap enough to call per store open (the module tree digest is cached;
+    only the ~15 registered builder sources are re-read), yet it tracks
+    runtime registry mutations — a test that swaps a protocol builder in
+    gets a different fingerprint and therefore a cold cache.
+    """
+    digest = hashlib.sha256()
+    digest.update(f"fingerprint_version={FINGERPRINT_VERSION}\n".encode("utf-8"))
+    digest.update(_module_tree_digest().encode("utf-8"))
+    for label, registry in (
+        ("protocol", PROTOCOLS),
+        ("adversary", ADVERSARIES),
+        ("delay", DELAY_MODELS),
+    ):
+        for key in sorted(registry):
+            digest.update(f"\x00{label}:{key}\x00".encode("utf-8"))
+            digest.update(_builder_source(registry[key]).encode("utf-8"))
+    return digest.hexdigest()

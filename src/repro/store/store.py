@@ -1,0 +1,387 @@
+"""The SQLite-backed persistent run store.
+
+:class:`RunStore` keeps every :class:`~repro.experiments.runner.RunResult`
+ever computed, keyed by ``(scenario fingerprint, seed, code fingerprint)``
+(see :mod:`repro.store.fingerprint`).  Because a run is a pure function of
+that triple, a stored record *is* the run — re-executing it can only
+reproduce the same bytes — so sweeps become incremental: the runner serves
+hits straight from the store and only executes (then persists) the misses.
+
+Storage layout and concurrency:
+
+* one SQLite file in **WAL mode** with a generous busy timeout, so several
+  sweep processes can share a store file (readers never block the writer);
+* under the multiprocessing :class:`~repro.experiments.runner.Runner` only
+  the **parent** process touches the store — workers just compute — so the
+  store needs no cross-process write coordination of its own;
+* writes are **batched**: ``put`` buffers records and flushes them in one
+  transaction every ``batch_size`` records (and on ``flush``/``close``/exit,
+  including when a sweep generator is abandoned);
+* reads go through an in-memory **LRU cache**, so re-aggregating the same
+  slice (report, compare, a warm sweep) does not re-parse JSON rows.
+
+Timed-out runs are **never persisted**: a wall-clock timeout depends on the
+host, not on the ``(scenario, seed, code)`` triple, so caching it would
+freeze a transient condition as truth.  Deterministic failures (protocol
+exceptions, violated properties, exhausted event budgets) are results like
+any other and are stored.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sqlite3
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from ..experiments.runner import TIMEOUT_ERROR_PREFIX, RunResult
+from ..experiments.scenario import ScenarioSpec
+from .fingerprint import code_fingerprint, scenario_fingerprint
+
+STORE_FORMAT_VERSION = 1
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS runs (
+    scenario_fp TEXT    NOT NULL,
+    seed        INTEGER NOT NULL,
+    code_fp     TEXT    NOT NULL,
+    scenario    TEXT    NOT NULL,
+    protocol    TEXT    NOT NULL,
+    adversary   TEXT    NOT NULL,
+    delay       TEXT    NOT NULL,
+    n           INTEGER NOT NULL,
+    t           INTEGER NOT NULL,
+    ok          INTEGER NOT NULL,
+    result_json TEXT    NOT NULL,
+    PRIMARY KEY (scenario_fp, seed, code_fp)
+);
+CREATE INDEX IF NOT EXISTS runs_by_name ON runs (scenario, code_fp);
+"""
+
+_Key = Tuple[str, int, str]
+
+
+@dataclass
+class StoreStats:
+    """Counters for one store session (reset when the store is opened)."""
+
+    hits: int = 0
+    misses: int = 0
+    stored: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses, "stored": self.stored}
+
+
+class StoreFormatError(RuntimeError):
+    """The file exists but is not a compatible run store."""
+
+
+class RunStore:
+    """Content-addressed persistent cache of :class:`RunResult` records.
+
+    Args:
+        path: SQLite file (created if missing, parents must exist).
+        code_fp: Override the code fingerprint — tests use this to simulate
+            a semantics change; normal callers leave it to
+            :func:`~repro.store.fingerprint.code_fingerprint`.
+        batch_size: Buffered ``put`` records per write transaction.
+        cache_size: Entries held by the in-memory read LRU.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, pathlib.Path],
+        code_fp: Optional[str] = None,
+        batch_size: int = 128,
+        cache_size: int = 4096,
+    ):
+        if batch_size < 1:
+            raise ValueError("batch_size must be at least 1")
+        self.path = pathlib.Path(path)
+        self.code_fp = code_fp if code_fp is not None else code_fingerprint()
+        self.batch_size = batch_size
+        self.cache_size = cache_size
+        self.stats = StoreStats()
+        self._pending: Dict[_Key, Tuple[ScenarioSpec, RunResult]] = {}
+        self._lru: "OrderedDict[_Key, RunResult]" = OrderedDict()
+        self._fp_cache: Dict[ScenarioSpec, str] = {}
+        self._conn: Optional[sqlite3.Connection] = None
+        try:
+            self._conn = sqlite3.connect(str(self.path))
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.execute("PRAGMA synchronous=NORMAL")
+            self._conn.execute("PRAGMA busy_timeout=30000")
+            self._conn.executescript(_SCHEMA)
+            self._check_format()
+            self._conn.commit()
+        except sqlite3.Error as exc:
+            if self._conn is not None:
+                self._conn.close()
+                self._conn = None
+            raise StoreFormatError(f"cannot open run store {self.path}: {exc}") from exc
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def _check_format(self) -> None:
+        row = self._conn.execute("SELECT value FROM meta WHERE key='format_version'").fetchone()
+        if row is None:
+            self._conn.execute(
+                "INSERT INTO meta (key, value) VALUES ('format_version', ?)",
+                (str(STORE_FORMAT_VERSION),),
+            )
+        elif row[0] != str(STORE_FORMAT_VERSION):
+            raise sqlite3.DatabaseError(
+                f"store format_version {row[0]!r}, this code reads {STORE_FORMAT_VERSION!r}"
+            )
+
+    def close(self) -> None:
+        """Flush pending writes and release the connection (idempotent)."""
+        conn, self._conn = self._conn, None
+        if conn is None:
+            return
+        try:
+            self._flush_into(conn)
+        finally:
+            conn.close()
+
+    def __enter__(self) -> "RunStore":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - interpreter shutdown is untestable
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def _connection(self) -> sqlite3.Connection:
+        if self._conn is None:
+            raise RuntimeError(f"run store {self.path} is closed")
+        return self._conn
+
+    # ------------------------------------------------------------------
+    # Keys
+    # ------------------------------------------------------------------
+    def fingerprint(self, spec: ScenarioSpec) -> str:
+        """The scenario fingerprint, memoised per spec object value."""
+        cached = self._fp_cache.get(spec)
+        if cached is None:
+            cached = self._fp_cache[spec] = scenario_fingerprint(spec)
+        return cached
+
+    def key(self, spec: ScenarioSpec, seed: int) -> _Key:
+        return (self.fingerprint(spec), int(seed), self.code_fp)
+
+    # ------------------------------------------------------------------
+    # Read path
+    # ------------------------------------------------------------------
+    def _lru_put(self, key: _Key, result: RunResult) -> None:
+        lru = self._lru
+        lru[key] = result
+        lru.move_to_end(key)
+        while len(lru) > self.cache_size:
+            lru.popitem(last=False)
+
+    def get(self, spec: ScenarioSpec, seed: int) -> Optional[RunResult]:
+        """The stored record for ``(spec, seed)`` under the current code, or None."""
+        key = self.key(spec, seed)
+        cached = self._lru.get(key)
+        if cached is not None:
+            self._lru.move_to_end(key)
+            self.stats.hits += 1
+            return cached
+        pending = self._pending.get(key)
+        if pending is not None:
+            self.stats.hits += 1
+            return pending[1]
+        row = self._connection().execute(
+            "SELECT result_json FROM runs WHERE scenario_fp=? AND seed=? AND code_fp=?", key
+        ).fetchone()
+        if row is None:
+            self.stats.misses += 1
+            return None
+        result = RunResult.from_dict(json.loads(row[0]))
+        self._lru_put(key, result)
+        self.stats.hits += 1
+        return result
+
+    def __contains__(self, spec_seed: Tuple[ScenarioSpec, int]) -> bool:
+        spec, seed = spec_seed
+        key = self.key(spec, seed)
+        if key in self._lru or key in self._pending:
+            return True
+        row = self._connection().execute(
+            "SELECT 1 FROM runs WHERE scenario_fp=? AND seed=? AND code_fp=?", key
+        ).fetchone()
+        return row is not None
+
+    # ------------------------------------------------------------------
+    # Write path (batched)
+    # ------------------------------------------------------------------
+    def put(self, spec: ScenarioSpec, result: RunResult) -> bool:
+        """Buffer one record for persistence; returns False when skipped.
+
+        Wall-clock timeout records are skipped: they are host conditions,
+        not functions of the content key, and must be recomputed next time.
+        """
+        if result.error is not None and result.error.startswith(TIMEOUT_ERROR_PREFIX):
+            return False
+        key = self.key(spec, result.seed)
+        self._pending[key] = (spec, result)
+        self._lru_put(key, result)
+        self.stats.stored += 1
+        if len(self._pending) >= self.batch_size:
+            self.flush()
+        return True
+
+    def put_many(self, pairs: Sequence[Tuple[ScenarioSpec, RunResult]]) -> int:
+        return sum(1 for spec, result in pairs if self.put(spec, result))
+
+    def flush(self) -> None:
+        """Write every buffered record in one transaction."""
+        self._flush_into(self._connection())
+
+    def _flush_into(self, conn: sqlite3.Connection) -> None:
+        if not self._pending:
+            return
+        rows = [
+            (
+                key[0],
+                key[1],
+                key[2],
+                spec.name,
+                spec.protocol,
+                spec.adversary,
+                spec.delay,
+                spec.n,
+                spec.t,
+                1 if result.ok else 0,
+                result.canonical_json(),
+            )
+            for key, (spec, result) in self._pending.items()
+        ]
+        conn.executemany(
+            "INSERT OR REPLACE INTO runs "
+            "(scenario_fp, seed, code_fp, scenario, protocol, adversary, delay, n, t, ok, result_json) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            rows,
+        )
+        conn.commit()
+        self._pending.clear()
+
+    # ------------------------------------------------------------------
+    # Bulk reads (report / compare / maintenance)
+    # ------------------------------------------------------------------
+    def _where(
+        self,
+        scenarios: Optional[Sequence[str]],
+        protocols: Optional[Sequence[str]],
+        adversaries: Optional[Sequence[str]],
+        delays: Optional[Sequence[str]],
+        any_code: bool,
+    ) -> Tuple[str, List[Any]]:
+        clauses: List[str] = []
+        params: List[Any] = []
+        if not any_code:
+            clauses.append("code_fp = ?")
+            params.append(self.code_fp)
+        for column, values in (
+            ("scenario", scenarios),
+            ("protocol", protocols),
+            ("adversary", adversaries),
+            ("delay", delays),
+        ):
+            if values:
+                placeholders = ", ".join("?" for _ in values)
+                clauses.append(f"{column} IN ({placeholders})")
+                params.extend(values)
+        where = f" WHERE {' AND '.join(clauses)}" if clauses else ""
+        return where, params
+
+    def iter_records(
+        self,
+        scenarios: Optional[Sequence[str]] = None,
+        protocols: Optional[Sequence[str]] = None,
+        adversaries: Optional[Sequence[str]] = None,
+        delays: Optional[Sequence[str]] = None,
+        any_code: bool = False,
+    ) -> Iterator[RunResult]:
+        """Stored records of a slice, in deterministic (scenario, seed) order.
+
+        By default only records under the *current* code fingerprint are
+        returned — stale entries from before a semantics change stay
+        invisible.  With ``any_code=True`` stale entries are included, but
+        each ``(scenario name, seed)`` still yields exactly **one** record —
+        the current-code one when it exists, else the record under the first
+        ``(scenario_fp, code_fp)`` in lexicographic order — so an aggregate
+        never double-counts a pair or blends code/param versions of the same
+        named scenario.
+        """
+        self.flush()
+        where, params = self._where(scenarios, protocols, adversaries, delays, any_code)
+        cursor = self._connection().execute(
+            f"SELECT scenario, seed, code_fp, result_json FROM runs{where} "
+            "ORDER BY scenario, seed, scenario_fp, code_fp",
+            params,
+        )
+        if not any_code:  # the primary key already guarantees one row per pair
+            for _scenario, _seed, _code_fp, result_json in cursor:
+                yield RunResult.from_dict(json.loads(result_json))
+            return
+        chosen: "OrderedDict[Tuple[str, int], str]" = OrderedDict()
+        current_code: Dict[Tuple[str, int], bool] = {}
+        for scenario, seed, code_fp, result_json in cursor:
+            key = (scenario, seed)
+            if key not in chosen or (code_fp == self.code_fp and not current_code[key]):
+                chosen[key] = result_json
+                current_code[key] = code_fp == self.code_fp
+        for result_json in chosen.values():
+            yield RunResult.from_dict(json.loads(result_json))
+
+    def count(self, any_code: bool = False) -> int:
+        self.flush()
+        where, params = self._where(None, None, None, None, any_code)
+        return self._connection().execute(f"SELECT COUNT(*) FROM runs{where}", params).fetchone()[0]
+
+    def scenario_names(self, any_code: bool = False) -> List[str]:
+        self.flush()
+        where, params = self._where(None, None, None, None, any_code)
+        cursor = self._connection().execute(
+            f"SELECT DISTINCT scenario FROM runs{where} ORDER BY scenario", params
+        )
+        return [name for (name,) in cursor]
+
+    def code_fingerprints(self) -> List[Tuple[str, int]]:
+        """Every code fingerprint in the store with its record count."""
+        self.flush()
+        cursor = self._connection().execute(
+            "SELECT code_fp, COUNT(*) FROM runs GROUP BY code_fp ORDER BY code_fp"
+        )
+        return [(code_fp, count) for code_fp, count in cursor]
+
+    def vacuum_stale(self) -> int:
+        """Delete records from other code fingerprints; returns rows removed."""
+        self.flush()
+        conn = self._connection()
+        cursor = conn.execute("DELETE FROM runs WHERE code_fp != ?", (self.code_fp,))
+        conn.commit()
+        return cursor.rowcount
+
+
+def is_run_store(path: Union[str, pathlib.Path]) -> bool:
+    """True when the file looks like an SQLite database (vs a JSON baseline)."""
+    try:
+        with open(path, "rb") as handle:
+            return handle.read(16) == b"SQLite format 3\x00"
+    except OSError:
+        return False

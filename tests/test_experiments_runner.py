@@ -181,6 +181,58 @@ class TestAggregation:
         assert summary.latency.mean == 0.0 and summary.latency.maximum == 0.0
 
 
+class TestStreamingAggregatorEdgeCases:
+    """The streaming fold must match batch ``aggregate()`` exactly, even on
+    degenerate sweeps: no runs at all, runs with no verdict on any property,
+    and records from many scenarios arriving interleaved."""
+
+    def test_empty_sweep(self):
+        from repro.experiments import StreamingAggregator
+
+        aggregator = StreamingAggregator()
+        assert aggregator.summaries() == {}
+        assert aggregate([]) == {}
+        assert summaries_to_json(aggregator.summaries()) == summaries_to_json(aggregate([]))
+
+    def test_all_timeout_scenario_every_stat_none(self):
+        from repro.experiments import StreamingAggregator
+        from repro.experiments.runner import _timeout_result
+
+        spec = SWEEP[0]
+        results = [_timeout_result(spec, seed, timeout=0.1) for seed in SEEDS]
+        for result in results:  # the premise: a timed-out run has no verdict
+            assert result.agreement is None
+            assert result.validity_ok is None
+            assert result.decision_latency is None
+        aggregator = StreamingAggregator()
+        for result in results:
+            aggregator.add(result)
+        streamed = aggregator.summaries()
+        assert streamed == aggregate(results)
+        summary = streamed[spec.name]
+        assert summary.runs == len(SEEDS)
+        assert summary.errors == len(SEEDS)
+        assert summary.agreement_violations == 0 and summary.validity_violations == 0
+        # No finished run fed any distribution: all-zero, not fake fast runs.
+        for distribution in (summary.messages, summary.words, summary.latency):
+            assert (distribution.minimum, distribution.maximum, distribution.mean) == (0.0, 0.0, 0.0)
+
+    def test_interleaved_multi_scenario_streams_match_batch(self):
+        from repro.experiments import StreamingAggregator
+        from repro.experiments.runner import _timeout_result
+
+        results = Runner().run(SWEEP, SEEDS)
+        results.append(_timeout_result(SWEEP[1], DEFAULT_SEED + 7, timeout=0.1))
+        # Interleave across scenarios: s0-seed0, s1-seed0, ..., s0-seed1, ...
+        interleaved = sorted(results, key=lambda result: (result.seed, result.scenario))
+        assert [r.scenario for r in interleaved] != [r.scenario for r in results]
+        aggregator = StreamingAggregator()
+        for result in interleaved:
+            aggregator.add(result)
+        assert aggregator.summaries() == aggregate(results)
+        assert summaries_to_json(aggregator.summaries()) == summaries_to_json(aggregate(results))
+
+
 class TestBaseline:
     def test_roundtrip_no_regressions(self, tmp_path):
         results = Runner().run(SWEEP, SEEDS)

@@ -1,0 +1,420 @@
+"""Persistent run store: fingerprints, SQLite cache, incremental sweeps.
+
+The store's contract is the repo-wide determinism guarantee turned into
+persistence: a ``RunResult`` is a pure function of
+``(scenario fingerprint, seed, code fingerprint)``, so a stored record can
+stand in for the execution byte-for-byte.  These tests pin that down —
+cache hits are byte-identical to cold runs, interrupted sweeps resume from
+the store, semantics changes invalidate via the code fingerprint — plus the
+runner lifecycle fixes that ride along (idempotent ``close``, pool release
+on abandoned generators).
+"""
+
+import json
+import time
+
+import pytest
+
+from repro.experiments import (
+    DEFAULT_SEED,
+    Runner,
+    RunResult,
+    aggregate,
+    execute_run,
+    make_scenario,
+    summaries_to_json,
+    sweep_seeds,
+)
+from repro.experiments.runner import _timeout_result
+from repro.experiments.scenario import PROTOCOLS
+from repro.store import (
+    RunStore,
+    StoreFormatError,
+    code_fingerprint,
+    scenario_fingerprint,
+    spec_payload,
+)
+
+SWEEP = [
+    make_scenario("binary", "silent", "synchronous"),
+    make_scenario("binary", "crash", "eventual"),
+    make_scenario("quad", "silent", "synchronous"),
+    make_scenario("universal-authenticated", "silent", "synchronous"),
+]
+SEEDS = (DEFAULT_SEED, DEFAULT_SEED + 1)
+
+
+def canonical_trace(results):
+    return "\n".join(result.canonical_json() for result in results)
+
+
+# ----------------------------------------------------------------------
+# Fingerprints
+# ----------------------------------------------------------------------
+class TestFingerprints:
+    def test_scenario_fingerprint_is_stable(self):
+        spec = SWEEP[0]
+        assert scenario_fingerprint(spec) == scenario_fingerprint(spec)
+        rebuilt = make_scenario("binary", "silent", "synchronous")
+        assert scenario_fingerprint(rebuilt) == scenario_fingerprint(spec)
+
+    def test_every_field_steers_the_fingerprint(self):
+        spec = SWEEP[0]
+        base = scenario_fingerprint(spec)
+        for changed in (
+            spec.with_(n=7, t=2),
+            spec.with_(name="renamed"),
+            spec.with_(property_key="weak"),
+            spec.with_(params=(("delta", 2.0),)),
+            spec.with_(time_limit=5_000.0),
+            spec.with_(max_events=1_000),
+        ):
+            assert scenario_fingerprint(changed) != base, changed
+
+    def test_matrix_fingerprints_are_unique(self):
+        from repro.experiments import default_matrix
+
+        matrix = default_matrix()
+        fingerprints = {scenario_fingerprint(spec) for spec in matrix}
+        assert len(fingerprints) == len(matrix)
+
+    def test_spec_payload_is_json_serialisable(self):
+        spec = SWEEP[0].with_(params=(("proposals", ((0, 1), (1, 0), (2, 1), (3, 0))),))
+        payload = spec_payload(spec)
+        assert json.loads(json.dumps(payload, sort_keys=True)) == payload
+
+    def test_code_fingerprint_tracks_registry_changes(self, monkeypatch):
+        base = code_fingerprint()
+        assert base == code_fingerprint(), "must be stable within one process"
+
+        def _different_builder(spec, system, seed):  # pragma: no cover - never run
+            raise NotImplementedError
+
+        monkeypatch.setitem(PROTOCOLS, "binary", _different_builder)
+        assert code_fingerprint() != base
+        monkeypatch.undo()
+        assert code_fingerprint() == base
+
+
+class TestRunResultRoundtrip:
+    def test_from_dict_inverts_canonical_json(self):
+        for spec in SWEEP:
+            result = execute_run(spec, DEFAULT_SEED)
+            rebuilt = RunResult.from_dict(json.loads(result.canonical_json()))
+            assert rebuilt == result
+            assert rebuilt.canonical_json() == result.canonical_json()
+
+    def test_error_record_roundtrip(self):
+        starved = SWEEP[0].with_(name="starved", max_events=5)
+        result = execute_run(starved, DEFAULT_SEED)
+        assert result.error is not None
+        rebuilt = RunResult.from_dict(json.loads(result.canonical_json()))
+        assert rebuilt == result
+
+
+# ----------------------------------------------------------------------
+# The store itself
+# ----------------------------------------------------------------------
+class TestRunStore:
+    def test_put_get_roundtrip_and_persistence(self, tmp_path):
+        path = tmp_path / "runs.db"
+        spec = SWEEP[0]
+        result = execute_run(spec, DEFAULT_SEED)
+        with RunStore(path) as store:
+            assert store.get(spec, DEFAULT_SEED) is None
+            assert store.put(spec, result)
+            assert store.get(spec, DEFAULT_SEED) == result
+        with RunStore(path) as store:  # survives reopen (flushed on close)
+            assert store.get(spec, DEFAULT_SEED) == result
+            assert store.count() == 1
+
+    def test_batched_writes_flush_at_threshold(self, tmp_path):
+        path = tmp_path / "runs.db"
+        spec = SWEEP[0]
+        with RunStore(path, batch_size=2) as store:
+            store.put(spec, execute_run(spec, DEFAULT_SEED))
+            assert store._pending  # buffered, not yet written
+            store.put(spec.with_(name="other"), execute_run(spec, DEFAULT_SEED + 1))
+            assert not store._pending  # threshold reached -> one transaction
+            assert store.count() == 2
+
+    def test_pending_records_visible_before_flush(self, tmp_path):
+        spec = SWEEP[0]
+        result = execute_run(spec, DEFAULT_SEED)
+        with RunStore(tmp_path / "runs.db", batch_size=1000) as store:
+            store.put(spec, result)
+            assert store.get(spec, DEFAULT_SEED) == result
+
+    def test_lru_eviction_still_serves_from_disk(self, tmp_path):
+        specs = [SWEEP[0].with_(name=f"s{i}") for i in range(4)]
+        with RunStore(tmp_path / "runs.db", cache_size=2) as store:
+            for spec in specs:
+                store.put(spec, execute_run(SWEEP[0], DEFAULT_SEED))
+            store.flush()
+            assert len(store._lru) <= 2
+            for spec in specs:  # evicted entries fall back to SQLite
+                assert store.get(spec, DEFAULT_SEED) is not None
+
+    def test_timeout_records_are_never_persisted(self, tmp_path):
+        spec = SWEEP[0]
+        timed_out = _timeout_result(spec, DEFAULT_SEED, timeout=0.1)
+        with RunStore(tmp_path / "runs.db") as store:
+            assert not store.put(spec, timed_out)
+            assert store.count() == 0
+            assert store.get(spec, DEFAULT_SEED) is None
+
+    def test_deterministic_failures_are_persisted(self, tmp_path):
+        starved = SWEEP[0].with_(name="starved", max_events=5)
+        result = execute_run(starved, DEFAULT_SEED)
+        assert result.error is not None
+        with RunStore(tmp_path / "runs.db") as store:
+            assert store.put(starved, result)
+            assert store.get(starved, DEFAULT_SEED) == result
+
+    def test_code_fingerprint_partitions_the_store(self, tmp_path):
+        path = tmp_path / "runs.db"
+        spec = SWEEP[0]
+        result = execute_run(spec, DEFAULT_SEED)
+        with RunStore(path, code_fp="old-code") as store:
+            store.put(spec, result)
+        with RunStore(path, code_fp="new-code") as store:
+            assert store.get(spec, DEFAULT_SEED) is None  # stale entry invisible
+            assert store.count() == 0
+            assert store.count(any_code=True) == 1
+            store.put(spec, result)
+            assert [count for _, count in store.code_fingerprints()] == [1, 1]
+            assert store.vacuum_stale() == 1
+            assert store.count(any_code=True) == 1
+
+    def test_any_code_prefers_current_and_never_double_counts(self, tmp_path):
+        from repro.store import summarize_store
+
+        path = tmp_path / "runs.db"
+        healthy = SWEEP[0]
+        starved_result = execute_run(healthy.with_(max_events=5), DEFAULT_SEED)
+        healthy_result = execute_run(healthy, DEFAULT_SEED)
+        with RunStore(path, code_fp="old-code") as store:
+            store.put(healthy, starved_result)  # what "the old code" computed
+        with RunStore(path) as store:
+            store.put(healthy, healthy_result)
+            assert store.count(any_code=True) == 2  # raw rows: both versions kept
+            merged = list(store.iter_records(any_code=True))
+            # ...but a (scenario, seed) pair aggregates exactly once, and the
+            # current-code record wins over the stale one.
+            assert merged == [healthy_result]
+            summary = summarize_store(store, any_code=True)[healthy.name]
+            assert summary.runs == 1 and summary.errors == 0
+        # Without a current-code record the stale one is still readable.
+        with RunStore(path, code_fp="new-code") as store:
+            stale = list(store.iter_records(any_code=True))
+            assert len(stale) == 1
+
+    def test_any_code_dedups_same_named_scenarios_across_spec_versions(self, tmp_path):
+        # The same scenario *name* can exist under different scenario
+        # fingerprints (a param evolved between sweeps); any_code must still
+        # aggregate one record per (name, seed), preferring current code.
+        from repro.store import summarize_store
+
+        path = tmp_path / "runs.db"
+        spec_v1 = SWEEP[0].with_(time_limit=9_000.0)  # different scenario_fp, same name
+        spec_v2 = SWEEP[0]
+        assert scenario_fingerprint(spec_v1) != scenario_fingerprint(spec_v2)
+        with RunStore(path, code_fp="old-code") as store:
+            store.put(spec_v1, execute_run(spec_v1, DEFAULT_SEED))
+        with RunStore(path) as store:
+            current = execute_run(spec_v2, DEFAULT_SEED)
+            store.put(spec_v2, current)
+            assert store.count(any_code=True) == 2
+            assert list(store.iter_records(any_code=True)) == [current]
+            assert summarize_store(store, any_code=True)[spec_v2.name].runs == 1
+
+    def test_iter_records_filters_and_order(self, tmp_path):
+        with RunStore(tmp_path / "runs.db") as store:
+            with Runner() as runner:
+                runner.run(SWEEP, SEEDS, store=store)
+            everything = list(store.iter_records())
+            assert len(everything) == len(SWEEP) * len(SEEDS)
+            keys = [(record.scenario, record.seed) for record in everything]
+            assert keys == sorted(keys)
+            binary_only = list(store.iter_records(protocols=["binary"]))
+            assert {record.scenario for record in binary_only} == {
+                spec.name for spec in SWEEP if spec.protocol == "binary"
+            }
+            named = list(store.iter_records(scenarios=[SWEEP[0].name]))
+            assert len(named) == len(SEEDS)
+
+    def test_rejects_non_store_files(self, tmp_path):
+        bogus = tmp_path / "not_a_store.db"
+        bogus.write_text("definitely not sqlite\n" * 10)
+        with pytest.raises(StoreFormatError):
+            RunStore(bogus)
+
+    def test_closed_store_raises_cleanly(self, tmp_path):
+        store = RunStore(tmp_path / "runs.db")
+        store.close()
+        store.close()  # idempotent
+        with pytest.raises(RuntimeError):
+            store.get(SWEEP[0], DEFAULT_SEED)
+
+
+# ----------------------------------------------------------------------
+# Incremental sweeps through the runner
+# ----------------------------------------------------------------------
+class TestIncrementalSweeps:
+    def test_warm_sweep_executes_zero_runs_and_is_byte_identical(self, tmp_path, monkeypatch):
+        path = tmp_path / "runs.db"
+        with RunStore(path) as store, Runner() as runner:
+            cold = runner.run(SWEEP, SEEDS, store=store)
+            assert store.stats.misses == len(cold) and store.stats.hits == 0
+
+        # Any execution attempt during the warm sweep is a test failure.
+        def _forbidden(item):  # pragma: no cover - would mean a cache miss
+            raise AssertionError(f"warm sweep executed {item}")
+
+        monkeypatch.setattr("repro.experiments.runner._execute_with_timeout", _forbidden)
+        with RunStore(path) as store, Runner() as runner:
+            warm = runner.run(SWEEP, SEEDS, store=store)
+            assert store.stats.hits == len(warm) and store.stats.misses == 0
+        assert canonical_trace(warm) == canonical_trace(cold)
+        assert summaries_to_json(aggregate(warm)) == summaries_to_json(aggregate(cold))
+
+    def test_interrupted_sweep_resumes_from_the_store(self, tmp_path):
+        path = tmp_path / "runs.db"
+        total = len(SWEEP) * len(SEEDS)
+        consumed = 3
+        with RunStore(path) as store:
+            runner = Runner()
+            iterator = runner.iter_runs(SWEEP, SEEDS, store=store)
+            partial = [next(iterator) for _ in range(consumed)]
+            iterator.close()  # the "kill": abandon the sweep mid-matrix
+        with RunStore(path) as store:
+            assert store.count() == consumed
+            with Runner() as runner:
+                resumed = runner.run(SWEEP, SEEDS, store=store)
+            assert store.stats.hits == consumed
+            assert store.stats.misses == total - consumed
+        assert canonical_trace(resumed[:consumed]) == canonical_trace(partial)
+        assert canonical_trace(resumed) == canonical_trace(Runner().run(SWEEP, SEEDS))
+
+    def test_rerun_recomputes_despite_cache(self, tmp_path, monkeypatch):
+        path = tmp_path / "runs.db"
+        with RunStore(path) as store, Runner() as runner:
+            cold = runner.run(SWEEP[:1], SEEDS, store=store)
+        executions = []
+        from repro.experiments import runner as runner_module
+
+        original = runner_module._execute_with_timeout
+
+        def _counting(item):
+            executions.append(item)
+            return original(item)
+
+        monkeypatch.setattr(runner_module, "_execute_with_timeout", _counting)
+        with RunStore(path) as store, Runner() as runner:
+            rerun = runner.run(SWEEP[:1], SEEDS, store=store, rerun=True)
+            assert store.stats.hits == 0 and store.stats.stored == len(rerun)
+        assert len(executions) == len(SEEDS)
+        assert canonical_trace(rerun) == canonical_trace(cold)
+
+    def test_parallel_mixed_hit_miss_sweep_keeps_order(self, tmp_path):
+        path = tmp_path / "runs.db"
+        half = SWEEP[::2]
+        with RunStore(path) as store, Runner() as runner:
+            runner.run(half, SEEDS, store=store)
+        with RunStore(path) as store, Runner(parallel=2) as runner:
+            mixed = runner.run(SWEEP, SEEDS, store=store)
+            assert store.stats.hits == len(half) * len(SEEDS)
+            assert store.stats.misses == (len(SWEEP) - len(half)) * len(SEEDS)
+        expected = [(spec.name, seed) for spec in SWEEP for seed in SEEDS]
+        assert [(result.scenario, result.seed) for result in mixed] == expected
+        assert canonical_trace(mixed) == canonical_trace(Runner().run(SWEEP, SEEDS))
+
+    def test_hits_before_the_first_miss_stream_immediately(self, tmp_path, monkeypatch):
+        # With items [hit, hit, miss, miss] the two hits must be yielded as
+        # soon as the parallel sweep starts, not buffered until the first
+        # pool result lands; the misses are artificially slowed to prove it.
+        from repro.experiments import runner as runner_module
+
+        path = tmp_path / "runs.db"
+        with RunStore(path) as store, Runner() as runner:
+            runner.run(SWEEP[:2], (DEFAULT_SEED,), store=store)
+        monkeypatch.setattr(runner_module, "_execute_indexed", _slow_execute_indexed)
+        with RunStore(path) as store:
+            runner = Runner(parallel=2)
+            iterator = runner.iter_runs(SWEEP, (DEFAULT_SEED,), store=store)
+            started = time.perf_counter()
+            first = next(iterator)
+            second = next(iterator)
+            elapsed = time.perf_counter() - started
+            assert {first.scenario, second.scenario} == {spec.name for spec in SWEEP[:2]}
+            assert elapsed < 1.0, "cache hits waited on the slowed misses"
+            iterator.close()  # abandon the slow misses; pool is terminated
+
+    def test_trailing_cache_hits_are_yielded(self, tmp_path):
+        # Hits *after* the last miss exercise the drain loop behind the pool.
+        path = tmp_path / "runs.db"
+        tail = SWEEP[2:]
+        with RunStore(path) as store, Runner() as runner:
+            runner.run(tail, SEEDS, store=store)
+        with RunStore(path) as store, Runner(parallel=2) as runner:
+            results = runner.run(SWEEP, SEEDS, store=store)
+        assert [(r.scenario, r.seed) for r in results] == [
+            (spec.name, seed) for spec in SWEEP for seed in SEEDS
+        ]
+
+
+def _slow_execute_indexed(indexed_item):
+    """Worker stand-in (module-level so the pool can pickle it): a real run,
+    delayed enough that a buffered cache hit would be caught waiting on it."""
+    from repro.experiments.runner import _execute_with_timeout
+
+    time.sleep(2.0)
+    index, item = indexed_item
+    return index, _execute_with_timeout(item)
+
+
+# ----------------------------------------------------------------------
+# Runner lifecycle (satellite fixes)
+# ----------------------------------------------------------------------
+class TestRunnerLifecycle:
+    def test_close_is_idempotent_without_a_pool(self):
+        runner = Runner(parallel=4)
+        runner.close()
+        runner.close()
+        assert runner._pool is None
+
+    def test_close_is_idempotent_after_a_sweep(self):
+        runner = Runner(parallel=2)
+        runner.run(SWEEP[:1], (DEFAULT_SEED,) * 1)
+        runner.close()
+        runner.close()
+        assert runner._pool is None
+
+    def test_close_survives_a_failed_pool_setup(self, monkeypatch):
+        import multiprocessing
+
+        runner = Runner(parallel=2)
+
+        class _BrokenContext:
+            def Pool(self, processes=None):
+                raise OSError("no more processes")
+
+        monkeypatch.setattr(multiprocessing, "get_context", lambda method: _BrokenContext())
+        with pytest.raises(OSError):
+            runner._ensure_pool()
+        assert runner._pool is None
+        runner.close()  # must not raise
+        monkeypatch.undo()
+        assert runner.run(SWEEP[:1], (DEFAULT_SEED,)) != []
+
+    def test_abandoned_parallel_iterator_releases_the_pool(self):
+        runner = Runner(parallel=2)
+        iterator = runner.iter_runs(SWEEP, tuple(sweep_seeds(3)))
+        next(iterator)
+        assert runner._pool is not None
+        iterator.close()
+        assert runner._pool is None
+        # The runner stays usable: the next sweep recreates the pool.
+        results = runner.run(SWEEP[:1], (DEFAULT_SEED,))
+        assert results and results[0].ok
+        runner.close()

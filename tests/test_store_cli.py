@@ -1,0 +1,255 @@
+"""CLI surface of the run store: run --store, report, compare, --list --json.
+
+Drives ``repro.experiments.cli.main`` exactly as CI does and asserts on
+exit codes and written artifacts: a warm ``--store`` sweep must be 100%
+cache hits with byte-identical summaries, ``compare`` must exit non-zero on
+an injected regression, and malformed ``--seeds`` inputs must fail with a
+clear error instead of silently sweeping twice.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments import DEFAULT_SEED, Runner, execute_run, make_scenario
+from repro.experiments.cli import _parse_seeds, main
+from repro.store import RunStore
+
+SLICE = ["--scenario", "binary+silent+synchronous", "quad+silent+synchronous"]
+
+
+def run_cli(*argv):
+    return main(list(argv))
+
+
+class TestSeedValidation:
+    def test_count_form(self):
+        assert _parse_seeds("3") == [DEFAULT_SEED, DEFAULT_SEED + 1, DEFAULT_SEED + 2]
+
+    def test_comma_form(self):
+        assert _parse_seeds("7,5,6") == [7, 5, 6]
+
+    @pytest.mark.parametrize("raw", ["0", "-2"])
+    def test_non_positive_count_rejected(self, raw):
+        with pytest.raises(ValueError, match="positive"):
+            _parse_seeds(raw)
+
+    def test_duplicate_seeds_rejected(self):
+        with pytest.raises(ValueError, match="repeats"):
+            _parse_seeds("5,6,5")
+
+    def test_garbage_rejected_clearly(self):
+        with pytest.raises(ValueError, match="integers"):
+            _parse_seeds("5,six")
+        with pytest.raises(ValueError, match="count or a comma list"):
+            _parse_seeds("many")
+
+    @pytest.mark.parametrize("raw", ["0", "5,5"])
+    def test_cli_exit_code_2(self, raw, capsys):
+        assert run_cli("run", "--seeds", raw, *SLICE) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestListJson:
+    def test_machine_readable_matrix(self, capsys):
+        assert run_cli("--list", "--json") == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["code_fingerprint"]
+        names = {record["name"] for record in payload["scenarios"]}
+        assert "binary+silent+synchronous" in names
+        record = next(r for r in payload["scenarios"] if r["name"] == "binary+silent+synchronous")
+        assert record["protocol"] == "binary"
+        assert record["adversary"] == "silent"
+        assert record["delay"] == "synchronous"
+        assert record["n"] == 4 and record["t"] == 1
+        assert len(record["fingerprint"]) == 64
+        assert len({record["fingerprint"] for record in payload["scenarios"]}) == len(names)
+
+    def test_plain_list_unchanged(self, capsys):
+        assert run_cli("--list") == 0
+        assert "registered scenarios" in capsys.readouterr().out
+
+
+class TestRunWithStore:
+    def test_cold_then_warm_is_all_hits_and_byte_identical(self, tmp_path, capsys):
+        db = tmp_path / "runs.db"
+        cold_summary = tmp_path / "cold.json"
+        warm_summary = tmp_path / "warm.json"
+        assert (
+            run_cli(
+                "run", *SLICE, "--seeds", "2", "--quiet",
+                "--store", str(db), "--write-baseline", str(cold_summary),
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "4 executed" in out and "0 cached" in out
+        assert (
+            run_cli(
+                "run", *SLICE, "--seeds", "2", "--quiet",
+                "--store", str(db), "--require-cached", "--write-baseline", str(warm_summary),
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "4 cached" in out and "0 executed" in out
+        assert cold_summary.read_bytes() == warm_summary.read_bytes()
+
+    def test_require_cached_fails_on_a_cold_store(self, tmp_path, capsys):
+        db = tmp_path / "runs.db"
+        assert run_cli("run", *SLICE, "--seeds", "1", "--quiet", "--store", str(db), "--require-cached") == 1
+        assert "REQUIRE-CACHED" in capsys.readouterr().err
+
+    def test_require_cached_detects_a_partial_store(self, tmp_path, capsys):
+        db = tmp_path / "runs.db"
+        assert run_cli("run", "--scenario", "binary+silent+synchronous", "--seeds", "1", "--quiet", "--store", str(db)) == 0
+        capsys.readouterr()
+        assert run_cli("run", *SLICE, "--seeds", "1", "--quiet", "--store", str(db), "--require-cached") == 1
+        err = capsys.readouterr().err
+        assert "1 of 2 runs were not in the store" in err
+
+    def test_rerun_contradicts_require_cached(self, capsys):
+        assert run_cli("run", *SLICE, "--store", "x.db", "--rerun", "--require-cached") == 2
+        assert "contradicts" in capsys.readouterr().err
+
+    def test_store_flags_require_store(self, capsys):
+        assert run_cli("run", *SLICE, "--rerun") == 2
+        assert run_cli("run", *SLICE, "--require-cached") == 2
+        assert "--store" in capsys.readouterr().err
+
+
+class TestReport:
+    @pytest.fixture()
+    def populated(self, tmp_path):
+        db = tmp_path / "runs.db"
+        assert run_cli("run", *SLICE, "--seeds", "2", "--quiet", "--store", str(db)) == 0
+        return db
+
+    def test_report_table_and_artifacts(self, populated, tmp_path, capsys):
+        markdown = tmp_path / "report.md"
+        summaries = tmp_path / "summaries.json"
+        assert (
+            run_cli(
+                "report", "--store", str(populated),
+                "--markdown", str(markdown), "--json-output", str(summaries),
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "binary+silent+synchronous" in out and "quad+silent+synchronous" in out
+        text = markdown.read_text()
+        assert text.startswith("| scenario |")
+        payload = json.loads(summaries.read_text())
+        assert set(payload["scenarios"]) == {
+            "binary+silent+synchronous", "quad+silent+synchronous",
+        }
+        assert payload["scenarios"]["binary+silent+synchronous"]["runs"] == 2
+
+    def test_report_protocol_filter(self, populated, capsys):
+        assert run_cli("report", "--store", str(populated), "--protocol", "binary") == 0
+        out = capsys.readouterr().out
+        assert "binary+silent+synchronous" in out
+        assert "quad+silent+synchronous" not in out
+
+    def test_report_missing_store_errors(self, tmp_path, capsys):
+        assert run_cli("report", "--store", str(tmp_path / "absent.db")) == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_report_empty_slice_errors(self, populated, capsys):
+        assert run_cli("report", "--store", str(populated), "--protocol", "universal-compact") == 2
+        assert "no stored records" in capsys.readouterr().err
+
+
+class TestCompare:
+    def test_store_matches_its_own_baseline(self, tmp_path, capsys):
+        db = tmp_path / "runs.db"
+        baseline = tmp_path / "baseline.json"
+        assert run_cli("run", *SLICE, "--seeds", "2", "--quiet", "--store", str(db), "--write-baseline", str(baseline)) == 0
+        assert run_cli("compare", "--store", str(db), "--against", str(baseline)) == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_two_equal_stores_compare_clean(self, tmp_path):
+        db_a, db_b = tmp_path / "a.db", tmp_path / "b.db"
+        for db in (db_a, db_b):
+            assert run_cli("run", *SLICE, "--seeds", "2", "--quiet", "--store", str(db)) == 0
+        assert run_cli("compare", "--store", str(db_a), "--against", str(db_b)) == 0
+
+    def test_injected_regression_exits_non_zero(self, tmp_path, capsys):
+        db = tmp_path / "runs.db"
+        baseline = tmp_path / "baseline.json"
+        assert run_cli("run", *SLICE, "--seeds", "2", "--quiet", "--store", str(db), "--write-baseline", str(baseline)) == 0
+        # Inject the regression: overwrite one scenario's records with runs
+        # of a starved twin (same name, exhausted event budget -> errors).
+        healthy = make_scenario("binary", "silent", "synchronous")
+        starved = healthy.with_(max_events=5)
+        with RunStore(db) as store:
+            for seed in (DEFAULT_SEED, DEFAULT_SEED + 1):
+                result = execute_run(starved, seed)
+                assert result.error is not None
+                store.put(healthy, result)
+        capsys.readouterr()
+        assert run_cli("compare", "--store", str(db), "--against", str(baseline)) == 1
+        err = capsys.readouterr().err
+        assert "REGRESSION" in err and "errors" in err
+
+    def test_scenario_filter_restricts_both_sides(self, tmp_path):
+        db = tmp_path / "runs.db"
+        baseline = tmp_path / "baseline.json"
+        # Baseline covers two scenarios; the store only one.  Unfiltered the
+        # missing scenario is a regression; filtered to the shared slice it
+        # compares clean.
+        assert run_cli("run", *SLICE, "--seeds", "1", "--quiet", "--write-baseline", str(baseline)) == 0
+        assert run_cli("run", "--scenario", "binary+silent+synchronous", "--seeds", "1", "--quiet", "--store", str(db)) == 0
+        assert run_cli("compare", "--store", str(db), "--against", str(baseline)) == 1
+        assert (
+            run_cli(
+                "compare", "--store", str(db), "--against", str(baseline),
+                "--scenario", "binary+silent+synchronous",
+            )
+            == 0
+        )
+
+    def test_missing_reference_errors(self, tmp_path, capsys):
+        db = tmp_path / "runs.db"
+        assert run_cli("run", *SLICE, "--seeds", "1", "--quiet", "--store", str(db)) == 0
+        assert run_cli("compare", "--store", str(db), "--against", str(tmp_path / "absent.json")) == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_stale_code_reference_store_is_an_error_not_a_pass(self, tmp_path, capsys):
+        # A reference store whose records live under a different code
+        # fingerprint summarizes to nothing — compare must refuse (exit 2),
+        # never print "no regressions" against an empty reference.
+        current = tmp_path / "current.db"
+        stale = tmp_path / "stale.db"
+        assert run_cli("run", *SLICE, "--seeds", "1", "--quiet", "--store", str(current)) == 0
+        spec = make_scenario("binary", "silent", "synchronous")
+        with RunStore(stale, code_fp="built-by-older-code") as store:
+            store.put(spec, execute_run(spec, DEFAULT_SEED))
+        capsys.readouterr()
+        assert run_cli("compare", "--store", str(current), "--against", str(stale)) == 2
+        err = capsys.readouterr().err
+        assert "no scenarios" in err and "--any-code" in err
+        # Symmetrically: a measured store with only stale records errors too.
+        assert run_cli("compare", "--store", str(stale), "--against", str(current)) == 2
+        assert "--any-code" in capsys.readouterr().err
+
+
+class TestStoreFormatErrors:
+    def test_run_report_compare_reject_non_store_files_cleanly(self, tmp_path, capsys):
+        bogus = tmp_path / "bogus.db"
+        bogus.write_text('{"this is": "a JSON file, not SQLite"}\n')
+        db = tmp_path / "runs.db"
+        assert run_cli("run", *SLICE, "--seeds", "1", "--quiet", "--store", str(db)) == 0
+        capsys.readouterr()
+        assert run_cli("run", *SLICE, "--seeds", "1", "--quiet", "--store", str(bogus)) == 2
+        assert "cannot open run store" in capsys.readouterr().err
+        assert run_cli("report", "--store", str(bogus)) == 2
+        assert "cannot open run store" in capsys.readouterr().err
+        assert run_cli("compare", "--store", str(db), "--against", str(bogus)) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+
+    def test_unopenable_store_path_is_a_clean_cli_error(self, tmp_path, capsys):
+        missing_dir = tmp_path / "no" / "such" / "dir" / "runs.db"
+        assert run_cli("run", *SLICE, "--seeds", "1", "--quiet", "--store", str(missing_dir)) == 2
+        assert "cannot open run store" in capsys.readouterr().err
