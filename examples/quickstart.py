@@ -132,6 +132,8 @@ def main() -> None:
           f"({cold_seconds / max(warm_seconds, 1e-9):.0f}x) — byte-identical: {identical}")
     print("full matrix: python -m repro.experiments --list "
           "(persist sweeps with: python -m repro.experiments run --store runs.db)")
+    print("theory side: python -m repro.experiments analyze "
+          "(classify validity properties, cross-check them against the matrix)")
 
 
 if __name__ == "__main__":

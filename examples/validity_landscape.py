@@ -14,7 +14,7 @@ import sys
 
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
 
-from repro.analysis import figure1_report, sample_validity_property_space
+from repro.analysis import cross_check_tasks, figure1_report, run_analysis, sample_validity_property_space
 from repro.core import CorrectProposalValidity, SystemConfig, classify
 
 
@@ -59,6 +59,14 @@ def main() -> None:
                 }
             )
     print_table(rows, ["n", "t", "|V|", "classifier says solvable", "n > (|V|+1)t"])
+
+    print("=== The analyze pipeline: verdicts for every property the sweep matrix targets ===")
+    analysis = run_analysis(cross_check_tasks())
+    for verdict in analysis.verdicts:
+        print(f"  {verdict.label}: solvable={verdict.solvable} via {verdict.method} — {verdict.message_bound}")
+    print()
+    print("batch-classify whole families (and cross-check them against the recorded matrix) with:")
+    print("  python -m repro.experiments analyze --parallel 4 --store runs.db")
 
 
 if __name__ == "__main__":

@@ -11,6 +11,25 @@ coincide.  This module regenerates that picture computationally:
 * the space of *all* validity properties over a tiny system is sampled
   uniformly and each sample is classified, producing the trivial / solvable /
   unsolvable population counts that the figure depicts qualitatively.
+
+Examples
+--------
+
+Classify every named property over one system and read off a verdict:
+
+>>> from repro.core.system import SystemConfig
+>>> results = classify_standard_properties(SystemConfig(4, 1), [0, 1])
+>>> (results["strong"].solvable, results["strong"].trivial)
+(True, False)
+
+Sampling the full property space reproduces Figure 1's structural facts
+(trivial ⊆ solvable ⊆ satisfying ``C_S``):
+
+>>> counts = sample_validity_property_space(SystemConfig(3, 1), [0, 1], [0, 1], samples=10, seed=1)
+>>> counts.total
+10
+>>> counts.consistent_with_figure_1(SystemConfig(3, 1))
+True
 """
 
 from __future__ import annotations
@@ -107,6 +126,11 @@ def sample_validity_property_space(
     """
     if samples < 1:
         raise ValueError("need at least one sample")
+    if not output_domain:
+        raise ValueError(
+            "output domain must be non-empty: a validity property assigns a non-empty "
+            "subset of V_O to every configuration, so an empty V_O admits no properties"
+        )
     rng = random.Random(seed)
     configurations = list(enumerate_input_configurations(system, input_domain))
     non_empty_subsets = [

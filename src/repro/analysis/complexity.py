@@ -13,6 +13,23 @@ These drivers regenerate the quantitative side of the paper's results:
 Absolute numbers depend on the simulator, but the *shape* (growth exponents,
 orderings, crossovers) is what the paper claims and what
 ``EXPERIMENTS.md`` records.
+
+Examples
+--------
+
+The growth-exponent fit recovers exact power laws (a quadratic count fits
+to slope 2, a cubic to slope 3):
+
+>>> round(fit_growth_exponent([2, 4, 8], [4, 16, 64]), 6)
+2.0
+>>> round(fit_growth_exponent([10, 100], [1000, 1000000]), 6)
+3.0
+
+Sweeps use a deterministic, mildly heterogeneous proposal assignment:
+
+>>> from repro.core.system import SystemConfig
+>>> default_proposals(SystemConfig(5, 1))
+{0: 0, 1: 1, 2: 2, 3: 0, 4: 1}
 """
 
 from __future__ import annotations

@@ -19,6 +19,19 @@ The experiment makes the bound tangible by:
   messages the bound demands;
 * reporting the ``(ceil(t/2))^2`` threshold next to the measured message
   complexity of Universal, which always exceeds it.
+
+Examples
+--------
+
+The Theorem 4 threshold grows quadratically in the fault budget:
+
+>>> from repro.core.system import SystemConfig
+>>> dolev_reischuk_threshold(SystemConfig(4, 1))
+1
+>>> dolev_reischuk_threshold(SystemConfig(10, 3))
+4
+>>> dolev_reischuk_threshold(SystemConfig(16, 5))
+9
 """
 
 from __future__ import annotations

@@ -14,6 +14,30 @@ algorithm (run, deliberately, outside its resilience envelope at ``n = 3t``)
 and reports whether the attack produced the predicted disagreement.  The same
 driver run with ``n > 3t`` shows the attack failing, which is the boundary
 Theorem 1 establishes.
+
+Examples
+--------
+
+The attack targets the resilience boundary: ``n = 3t`` systems do not
+tolerate Byzantine faults, which is why Lemma 2's split quorums overlap only
+in the double-dealing group:
+
+>>> from repro.core.system import SystemConfig
+>>> system = SystemConfig.without_byzantine_resilience(2)
+>>> (system.n, system.t, system.tolerates_byzantine_faults())
+(6, 2, False)
+
+An attack report summarises both sides' decisions and whether Agreement
+broke (here, a hand-built record of the predicted outcome):
+
+>>> report = PartitionAttackReport(
+...     system=system, group_a=(0, 1), group_c=(2, 3), byzantine_group=(4, 5),
+...     decisions_a={0: 0, 1: 0}, decisions_c={2: 1, 3: 1},
+...     agreement_violated=True, all_correct_decided=True)
+>>> report.summary()["agreement_violated"]
+True
+>>> report.summary()["group_a_decisions"], report.summary()["group_c_decisions"]
+(['0'], ['1'])
 """
 
 from __future__ import annotations

@@ -10,6 +10,28 @@ sufficient when ``n > 3t``.
 Over finite domains the condition is decidable by enumeration; this module
 implements that decision procedure and materialises the resulting ``Lambda``
 as an explicit table, which the Universal protocol can then execute.
+
+Examples
+--------
+
+Strong Validity satisfies ``C_S`` exactly when ``n > 3t`` — the boundary
+Theorems 3 and 5 draw:
+
+>>> from repro.core.properties import StrongValidity
+>>> from repro.core.system import SystemConfig
+>>> check_similarity_condition(StrongValidity(), SystemConfig(4, 1), [0, 1]).holds
+True
+>>> check_similarity_condition(StrongValidity(), SystemConfig(3, 1), [0, 1]).holds
+False
+
+When the condition holds, the materialised ``Lambda`` maps every minimal
+(``n - t`` sized) configuration to a value admissible across its whole
+similarity neighbourhood — a unanimous vector forces the unanimous value:
+
+>>> from repro.core.input_config import InputConfiguration
+>>> result = check_similarity_condition(StrongValidity(), SystemConfig(4, 1), [0, 1])
+>>> result.lambda_function()(InputConfiguration.from_mapping({0: 1, 1: 1, 2: 1}))
+1
 """
 
 from __future__ import annotations

@@ -11,6 +11,27 @@ The paper's necessary and sufficient conditions are:
 This module combines the decision procedures of
 :mod:`repro.core.triviality` and :mod:`repro.core.similarity_condition`
 into a single classifier, which is what the Figure 1 experiment exercises.
+
+Examples
+--------
+
+The same non-trivial property flips from solvable to unsolvable at the
+``n = 3t`` resilience boundary:
+
+>>> from repro.core.properties import StrongValidity
+>>> from repro.core.system import SystemConfig
+>>> classify(StrongValidity(), SystemConfig(4, 1), [0, 1]).solvable
+True
+>>> classify(StrongValidity(), SystemConfig(3, 1), [0, 1]).solvable
+False
+
+The space of *all* validity properties over finite domains is finite and
+enumerable (here ``(2^2 - 1)^8`` for the smallest system over two values):
+
+>>> count_validity_properties(SystemConfig(2, 1), 2, 2)
+6561
+>>> next(enumerate_validity_properties(SystemConfig(2, 1), [0, 1], [0, 1])).name
+'enumerated-1'
 """
 
 from __future__ import annotations

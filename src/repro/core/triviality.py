@@ -9,6 +9,28 @@ finite ``always_admissible`` procedure.
 
 This module provides the exact decision procedure over finite domains and
 the ``always_admissible`` witness extraction.
+
+Examples
+--------
+
+Strong Validity is non-trivial (two unanimous configurations already force
+disjoint admissible sets), while Free Validity admits everything and is the
+canonical trivial property:
+
+>>> from repro.core.properties import FreeValidity, StrongValidity
+>>> from repro.core.system import SystemConfig
+>>> system = SystemConfig(n=3, t=1)
+>>> check_triviality(StrongValidity(), system, [0, 1]).trivial
+False
+>>> result = check_triviality(FreeValidity(), system, [0, 1])
+>>> (result.trivial, result.witness, sorted(result.always_admissible))
+(True, 0, [0, 1])
+
+For a trivial property the Theorem 2 procedure returns the canonical
+always-admissible value:
+
+>>> result.always_admissible_procedure()
+0
 """
 
 from __future__ import annotations

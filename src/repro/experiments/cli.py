@@ -26,6 +26,12 @@ Examples::
     python -m repro.experiments run --seeds 3 --write-baseline baseline.json
     python -m repro.experiments run --seeds 3 --check-baseline baseline.json
 
+    # Classify the validity-property families (the paper's theory side) and
+    # cross-check the verdicts against the recorded scenario matrix; verdicts
+    # are cached in the same run store, so a re-analysis classifies nothing.
+    python -m repro.experiments analyze --parallel 4 --store runs.db
+    python -m repro.experiments analyze --check-baseline
+
 The process exits non-zero when any run errors out, violates a correctness
 property, or regresses against the baseline — which makes the command usable
 directly as a CI gate.
@@ -42,6 +48,13 @@ from typing import Any, Dict, List, Optional, Sequence
 from .aggregate import StreamingAggregator, check_baseline, results_to_json, summaries_to_payload, write_baseline
 from .runner import DEFAULT_SEED, Runner, sweep_seeds
 from .scenario import ADVERSARIES, DELAY_MODELS, PROTOCOLS, ScenarioSpec, default_matrix, find_scenarios
+
+
+DEFAULT_VERDICT_BASELINE = pathlib.Path("benchmarks/baselines/analysis_verdicts.json")
+"""The committed analysis-verdict baseline (``analyze --check-baseline`` default)."""
+
+DEFAULT_MATRIX_BASELINE = pathlib.Path("benchmarks/baselines/scenario_matrix.json")
+"""The committed scenario-matrix baseline the cross-check reads by default."""
 
 
 def _add_slice_arguments(parser: argparse.ArgumentParser, with_scenario: bool = True) -> None:
@@ -115,6 +128,70 @@ def _build_parser() -> argparse.ArgumentParser:
     report.add_argument("--markdown", type=pathlib.Path, default=None, help="write the table as markdown")
     report.add_argument("--json-output", type=pathlib.Path, default=None, help="write the summaries as JSON")
     report.add_argument("--quiet", action="store_true", help="do not print the table to stdout")
+
+    analyze = subparsers.add_parser(
+        "analyze",
+        help="classify validity-property families and cross-check the scenario matrix",
+    )
+    analyze.add_argument(
+        "--family",
+        nargs="+",
+        default=None,
+        choices=["named", "enumerated", "sampled"],
+        help="restrict the classified property families (default: all, plus the "
+        "properties the scenario matrix targets)",
+    )
+    analyze.add_argument(
+        "--parallel", type=int, default=None, metavar="W", help="worker processes (default: serial)"
+    )
+    analyze.add_argument(
+        "--store",
+        type=pathlib.Path,
+        default=None,
+        help="persistent run store (SQLite): serve cached verdicts, classify+persist misses",
+    )
+    analyze.add_argument(
+        "--rerun", action="store_true", help="with --store: reclassify everything and refresh the store"
+    )
+    analyze.add_argument(
+        "--require-cached",
+        action="store_true",
+        help="with --store: exit non-zero unless every verdict was served from the store",
+    )
+    analyze.add_argument(
+        "--markdown", type=pathlib.Path, default=None, help="write the verdict table as markdown"
+    )
+    analyze.add_argument(
+        "--json-output",
+        type=pathlib.Path,
+        default=None,
+        help="write the verdicts as JSON (same shape as the verdict baseline)",
+    )
+    analyze.add_argument(
+        "--write-baseline", type=pathlib.Path, default=None, help="store the verdicts as a baseline"
+    )
+    analyze.add_argument(
+        "--check-baseline",
+        type=pathlib.Path,
+        nargs="?",
+        const=DEFAULT_VERDICT_BASELINE,
+        default=None,
+        help=f"diff the verdicts against a stored baseline (default: {DEFAULT_VERDICT_BASELINE}); "
+        "theory verdicts are exact, so any changed field is a regression",
+    )
+    analyze.add_argument(
+        "--no-cross-check",
+        action="store_true",
+        help="skip checking the verdicts against the recorded scenario-matrix summaries",
+    )
+    analyze.add_argument(
+        "--cross-check-against",
+        type=pathlib.Path,
+        default=DEFAULT_MATRIX_BASELINE,
+        help="recorded summaries to cross-check: a run store or a baseline JSON "
+        f"(default: {DEFAULT_MATRIX_BASELINE})",
+    )
+    analyze.add_argument("--quiet", action="store_true", help="only print failures")
 
     compare = subparsers.add_parser(
         "compare", help="diff a store against another store or a JSON baseline"
@@ -350,6 +427,145 @@ def _command_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_analyze(args: argparse.Namespace) -> int:
+    from ..analysis.pipeline import (
+        cross_check_matrix,
+        cross_check_tasks,
+        dedupe_tasks,
+        diff_verdicts,
+        enumerated_tasks,
+        load_verdict_baseline,
+        named_tasks,
+        render_verdict_markdown,
+        render_verdict_table,
+        run_analysis,
+        sampled_tasks,
+        verdicts_to_json,
+    )
+
+    if (args.rerun or args.require_cached) and args.store is None:
+        return _fail("--rerun/--require-cached only make sense with --store")
+    if args.rerun and args.require_cached:
+        return _fail("--rerun forces reclassification, which contradicts --require-cached")
+
+    families = args.family if args.family else ["named", "enumerated", "sampled"]
+    tasks = []
+    if "named" in families:
+        tasks.extend(named_tasks())
+    if "enumerated" in families:
+        tasks.extend(enumerated_tasks())
+    if "sampled" in families:
+        tasks.extend(sampled_tasks())
+    cross_check = not args.no_cross_check
+    if cross_check:
+        if not args.cross_check_against.exists():
+            return _fail(
+                f"cross-check reference {args.cross_check_against} does not exist "
+                "(pass --no-cross-check or point --cross-check-against at a store/baseline)"
+            )
+        tasks.extend(cross_check_tasks())
+    tasks = dedupe_tasks(tasks)
+    if not tasks:
+        return _fail("no property tasks selected")
+
+    store = None
+    if args.store is not None:
+        from ..store import RunStore, StoreFormatError
+
+        try:
+            store = RunStore(args.store)
+        except StoreFormatError as exc:
+            return _fail(str(exc))
+
+    try:
+        with Runner(parallel=args.parallel) as runner:
+            analysis = run_analysis(tasks, runner=runner, store=store, rerun=args.rerun)
+        verdicts = analysis.verdicts
+        counts = analysis.counts()
+
+        exit_code = 0
+        if not args.quiet:
+            print(
+                f"{counts['total']} validity properties classified "
+                f"({analysis.cached} cached, {analysis.classified} classified)"
+            )
+            print(
+                f"  solvable: {counts['solvable']} "
+                f"(trivial: {counts['trivial']}, non-trivial via C_S: {counts['solvable_non_trivial']})  "
+                f"unsolvable: {counts['unsolvable']}"
+            )
+        if store is not None:
+            stats = store.stats
+            if args.rerun and not args.quiet:
+                print(
+                    f"store {args.store}: {analysis.classified} verdicts reclassified (--rerun), "
+                    f"{stats.verdicts_stored} stored"
+                )
+            elif not args.quiet:
+                print(
+                    f"store {args.store}: {analysis.cached} cached, {analysis.classified} "
+                    f"classified, {stats.verdicts_stored} stored"
+                )
+            if args.require_cached and analysis.classified:
+                print(
+                    f"  REQUIRE-CACHED failed: {analysis.classified} of {counts['total']} "
+                    "verdicts were not in the store",
+                    file=sys.stderr,
+                )
+                exit_code = 1
+
+        if cross_check:
+            from ..store import load_reference_summaries
+
+            try:
+                summaries = load_reference_summaries(args.cross_check_against)
+            except (ValueError, FileNotFoundError) as exc:
+                return _fail(str(exc))
+            result = cross_check_matrix(analysis.by_label(), summaries)
+            for divergence in result.divergences:
+                print(f"  DIVERGENCE {divergence}", file=sys.stderr)
+            if result.divergences:
+                print(
+                    f"theory/simulation cross-check: {len(result.divergences)} divergences "
+                    f"over {result.checked} scenarios",
+                    file=sys.stderr,
+                )
+                exit_code = 1
+            elif not args.quiet:
+                print(
+                    f"cross-check vs {args.cross_check_against}: {result.checked} scenarios "
+                    f"consistent, {len(result.skipped)} without a property target — 0 divergences"
+                )
+
+        if args.markdown is not None:
+            args.markdown.write_text(render_verdict_markdown(verdicts) + "\n")
+            print(f"wrote markdown verdict table for {len(verdicts)} properties to {args.markdown}")
+        if args.json_output is not None:
+            args.json_output.write_text(verdicts_to_json(verdicts) + "\n")
+            print(f"wrote {len(verdicts)} verdicts to {args.json_output}")
+        if args.check_baseline is not None:
+            try:
+                baseline = load_verdict_baseline(args.check_baseline)
+            except (OSError, ValueError) as exc:
+                return _fail(str(exc))
+            regressions = diff_verdicts(verdicts, baseline)
+            for regression in regressions:
+                print(f"  REGRESSION {regression}", file=sys.stderr)
+            if regressions:
+                exit_code = 1
+            elif not args.quiet:
+                print(f"verdict baseline {args.check_baseline}: no divergences")
+        if args.write_baseline is not None:
+            args.write_baseline.write_text(verdicts_to_json(verdicts) + "\n")
+            print(f"wrote verdict baseline for {len(verdicts)} properties to {args.write_baseline}")
+        if not args.quiet and args.markdown is None and exit_code == 0 and len(verdicts) <= 16:
+            print(render_verdict_table(verdicts))
+        return exit_code
+    finally:
+        if store is not None:
+            store.close()
+
+
 def _command_compare(args: argparse.Namespace) -> int:
     from ..store import RunStore, StoreFormatError, compare_with_reference
 
@@ -386,6 +602,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_run(args)
     if args.command == "report":
         return _command_report(args)
+    if args.command == "analyze":
+        return _command_analyze(args)
     if args.command == "compare":
         return _command_compare(args)
     parser.error(f"unknown command {args.command!r}")

@@ -23,6 +23,7 @@ context manager, or let it fall out of scope (garbage collection closes it).
 from __future__ import annotations
 
 import contextlib
+import functools
 import json
 import multiprocessing
 import os
@@ -258,6 +259,17 @@ def _execute_indexed(
     return index, _execute_with_timeout(item)
 
 
+def _invoke_indexed(func: Any, indexed_item: Tuple[int, Any]) -> Tuple[int, Any]:
+    """Generic worker entry for :meth:`Runner.iter_tasks`: apply ``func``, keep the slot.
+
+    ``func`` travels inside the dispatched payload (via ``functools.partial``),
+    so any picklable top-level callable can ride the same persistent pool the
+    scenario sweeps use.
+    """
+    index, item = indexed_item
+    return index, func(item)
+
+
 def _effective_hash_seed() -> str:
     """The ``PYTHONHASHSEED`` value to pin for spawned workers.
 
@@ -405,6 +417,86 @@ class Runner:
             pass
 
     # ------------------------------------------------------------------
+    # Generic task execution (shared by sweeps and the analysis pipeline)
+    # ------------------------------------------------------------------
+    def iter_tasks(
+        self,
+        func: Any,
+        items: Sequence[Any],
+        *,
+        cached: Optional[Dict[int, Any]] = None,
+        on_result: Optional[Any] = None,
+        indexed_func: Optional[Any] = None,
+    ) -> Iterator[Any]:
+        """Yield ``func(item)`` for every item, in item order, through the pool.
+
+        This is the engine under :meth:`iter_runs`, exposed so other
+        deterministic workloads (the :mod:`repro.analysis.pipeline` property
+        classifier) can ride the same persistent worker pool: parallel
+        dispatch is ``imap_unordered`` with a computed chunksize, and a small
+        reorder buffer restores deterministic item order, so serial and
+        parallel invocations yield byte-identical sequences for pure ``func``.
+
+        Args:
+            func: Picklable top-level callable applied to each item.
+            items: The work items (picklable when running in parallel).
+            cached: Optional ``{index: result}`` of pre-computed results;
+                those indices are served from the mapping without executing
+                ``func`` (the cache-hit path of an incremental sweep).
+            on_result: Optional ``on_result(index, result)`` callback invoked
+                in the parent for every *executed* (non-cached) result before
+                it is yielded — the persistence hook.
+            indexed_func: Optional picklable ``f((index, item)) -> (index,
+                result)`` override for parallel dispatch; defaults to a
+                generic wrapper around ``func``.
+
+        Abandoning the iterator early terminates the worker pool, exactly
+        like :meth:`iter_runs` (dispatched work cannot be un-sent).
+        """
+        pending: Dict[int, Any] = dict(cached) if cached else {}
+        misses = [index for index in range(len(items)) if index not in pending]
+        if not items:
+            return
+        if not misses:
+            for index in range(len(items)):
+                yield pending[index]
+            return
+        if not self.parallel or self.parallel <= 1 or len(misses) == 1:
+            for index in range(len(items)):
+                result = pending.get(index)
+                if result is None:
+                    result = func(items[index])
+                    if on_result is not None:
+                        on_result(index, result)
+                yield result
+            return
+        pool = self._ensure_pool()
+        workers = min(self.parallel, len(misses))
+        chunksize = max(1, len(misses) // (workers * 4))
+        worker = indexed_func if indexed_func is not None else functools.partial(_invoke_indexed, func)
+        indexed = [(index, items[index]) for index in misses]
+        next_index = 0
+        try:
+            while next_index in pending:  # cached results before the first miss: serve now
+                yield pending.pop(next_index)
+                next_index += 1
+            for index, result in pool.imap_unordered(worker, indexed, chunksize):
+                if on_result is not None:
+                    on_result(index, result)
+                pending[index] = result
+                while next_index in pending:
+                    yield pending.pop(next_index)
+                    next_index += 1
+            while next_index in pending:  # cached results after the last miss
+                yield pending.pop(next_index)
+                next_index += 1
+        except GeneratorExit:
+            # The consumer walked away mid-sweep; release the workers so
+            # the undispatched remainder cannot stall a later sweep.
+            self.close()
+            raise
+
+    # ------------------------------------------------------------------
     # Sweep execution
     # ------------------------------------------------------------------
     def iter_runs(
@@ -446,46 +538,18 @@ class Runner:
                 hit = store.get(spec, seed)
                 if hit is not None:
                     cached[index] = hit
-        misses = [index for index in range(len(items)) if index not in cached]
+
+        def persist(index: int, result: RunResult) -> None:
+            store.put(items[index][0], result)
+
         try:
-            if not misses:
-                for index in range(len(items)):
-                    yield cached[index]
-                return
-            if not self.parallel or self.parallel <= 1 or len(misses) == 1:
-                for index in range(len(items)):
-                    result = cached.get(index)
-                    if result is None:
-                        result = _execute_with_timeout(items[index])
-                        if store is not None:
-                            store.put(items[index][0], result)
-                    yield result
-                return
-            pool = self._ensure_pool()
-            workers = min(self.parallel, len(misses))
-            chunksize = max(1, len(misses) // (workers * 4))
-            indexed = [(index, items[index]) for index in misses]
-            pending = cached  # hits wait in the reorder buffer alongside results
-            next_index = 0
-            try:
-                while next_index in pending:  # hits before the first miss: serve now
-                    yield pending.pop(next_index)
-                    next_index += 1
-                for index, result in pool.imap_unordered(_execute_indexed, indexed, chunksize):
-                    if store is not None:
-                        store.put(items[index][0], result)
-                    pending[index] = result
-                    while next_index in pending:
-                        yield pending.pop(next_index)
-                        next_index += 1
-                while next_index in pending:  # cache hits after the last miss
-                    yield pending.pop(next_index)
-                    next_index += 1
-            except GeneratorExit:
-                # The consumer walked away mid-sweep; release the workers so
-                # the undispatched remainder cannot stall a later sweep.
-                self.close()
-                raise
+            yield from self.iter_tasks(
+                _execute_with_timeout,
+                items,
+                cached=cached,
+                on_result=persist if store is not None else None,
+                indexed_func=_execute_indexed,
+            )
         finally:
             if store is not None:
                 store.flush()

@@ -25,10 +25,13 @@ sweeps for free and ``--rerun`` forces recomputation.
 """
 
 from .fingerprint import (
+    ANALYSIS_PACKAGES,
     FINGERPRINT_VERSION,
     SEMANTIC_PACKAGES,
+    analysis_code_fingerprint,
     canonical_form,
     code_fingerprint,
+    payload_fingerprint,
     scenario_fingerprint,
     spec_payload,
 )
@@ -42,14 +45,17 @@ from .query import (
 from .store import STORE_FORMAT_VERSION, RunStore, StoreFormatError, StoreStats, is_run_store
 
 __all__ = [
+    "ANALYSIS_PACKAGES",
     "FINGERPRINT_VERSION",
     "SEMANTIC_PACKAGES",
     "STORE_FORMAT_VERSION",
     "RunStore",
     "StoreFormatError",
     "StoreStats",
+    "analysis_code_fingerprint",
     "canonical_form",
     "code_fingerprint",
+    "payload_fingerprint",
     "compare_with_reference",
     "is_run_store",
     "load_reference_summaries",

@@ -57,6 +57,15 @@ away a database of results.
 
 _SEMANTIC_MODULES: Tuple[str, ...] = ("experiments/scenario.py", "experiments/runner.py")
 
+ANALYSIS_PACKAGES: Tuple[str, ...] = ("core", "analysis")
+"""``repro`` sub-packages whose source participates in the *analysis* code
+fingerprint: the exact decision procedures live in ``core`` and the batch
+classifier (plus the closed-form oracles it dispatches to) in ``analysis``.
+An :class:`~repro.analysis.pipeline.AnalysisVerdict` is a pure function of
+``(property task, analysis code)`` only — no simulator, no protocol stacks —
+so cached verdicts survive edits to ``sim``/``consensus``/``coding`` that
+would invalidate every cached *run*."""
+
 
 def canonical_form(value: Any) -> Any:
     """Reduce a value to a JSON-serialisable canonical shape.
@@ -93,6 +102,18 @@ def scenario_fingerprint(spec: ScenarioSpec) -> str:
     return _digest({"fingerprint_version": FINGERPRINT_VERSION, "spec": spec_payload(spec)})
 
 
+def payload_fingerprint(payload: Any) -> str:
+    """Stable content hash of an arbitrary canonical payload.
+
+    The versioned sibling of :func:`scenario_fingerprint` for non-scenario
+    content keys — the analysis pipeline hashes its
+    :meth:`~repro.analysis.pipeline.PropertyTask.payload` through this, so
+    every fingerprint in the store shares one digest convention and the
+    version bump story.
+    """
+    return _digest({"fingerprint_version": FINGERPRINT_VERSION, "payload": canonical_form(payload)})
+
+
 def _builder_source(builder: Any) -> str:
     """Source text of a registered builder, or a stable stand-in.
 
@@ -119,6 +140,30 @@ def _module_tree_digest() -> str:
         for path in (root / package).rglob("*.py")
     ) + [root / relative for relative in _SEMANTIC_MODULES]
     for path in paths:
+        digest.update(str(path.relative_to(root)).encode("utf-8"))
+        digest.update(b"\x00")
+        digest.update(path.read_bytes())
+        digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+@lru_cache(maxsize=1)
+def analysis_code_fingerprint() -> str:
+    """Hash of the code a property classification flows through.
+
+    Covers the :data:`ANALYSIS_PACKAGES` module trees (``repro.core`` for the
+    formalism and decision procedures, ``repro.analysis`` for the batch
+    pipeline and closed-form oracles).  Cached verdicts in a
+    :class:`~repro.store.store.RunStore` become invisible the moment any of
+    that source changes, exactly like run records under
+    :func:`code_fingerprint`.
+    """
+    root = pathlib.Path(__file__).resolve().parent.parent  # src/repro
+    digest = hashlib.sha256()
+    digest.update(f"fingerprint_version={FINGERPRINT_VERSION}\n".encode("utf-8"))
+    for path in sorted(
+        path for package in ANALYSIS_PACKAGES for path in (root / package).rglob("*.py")
+    ):
         digest.update(str(path.relative_to(root)).encode("utf-8"))
         digest.update(b"\x00")
         digest.update(path.read_bytes())

@@ -25,6 +25,15 @@ host, not on the ``(scenario, seed, code)`` triple, so caching it would
 freeze a transient condition as truth.  Deterministic failures (protocol
 exceptions, violated properties, exhausted event budgets) are results like
 any other and are stored.
+
+The store also caches **analysis verdicts**
+(:class:`~repro.analysis.pipeline.AnalysisVerdict` records from the
+``analyze`` pipeline) in a sibling ``verdicts`` table keyed by
+``(task fingerprint, analysis code fingerprint)``: a verdict is a pure
+function of the property task and the :mod:`repro.core`/:mod:`repro.analysis`
+source, so the same content-addressing argument applies — and because the
+two fingerprints are independent, editing a protocol stack invalidates runs
+but not verdicts, and vice versa.
 """
 
 from __future__ import annotations
@@ -38,7 +47,7 @@ from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from ..experiments.runner import TIMEOUT_ERROR_PREFIX, RunResult
 from ..experiments.scenario import ScenarioSpec
-from .fingerprint import code_fingerprint, scenario_fingerprint
+from .fingerprint import analysis_code_fingerprint, code_fingerprint, scenario_fingerprint
 
 STORE_FORMAT_VERSION = 1
 
@@ -62,6 +71,18 @@ CREATE TABLE IF NOT EXISTS runs (
     PRIMARY KEY (scenario_fp, seed, code_fp)
 );
 CREATE INDEX IF NOT EXISTS runs_by_name ON runs (scenario, code_fp);
+CREATE TABLE IF NOT EXISTS verdicts (
+    task_fp      TEXT    NOT NULL,
+    code_fp      TEXT    NOT NULL,
+    label        TEXT    NOT NULL,
+    family       TEXT    NOT NULL,
+    n            INTEGER NOT NULL,
+    t            INTEGER NOT NULL,
+    solvable     INTEGER NOT NULL,
+    verdict_json TEXT    NOT NULL,
+    PRIMARY KEY (task_fp, code_fp)
+);
+CREATE INDEX IF NOT EXISTS verdicts_by_label ON verdicts (label, code_fp);
 """
 
 _Key = Tuple[str, int, str]
@@ -69,14 +90,30 @@ _Key = Tuple[str, int, str]
 
 @dataclass
 class StoreStats:
-    """Counters for one store session (reset when the store is opened)."""
+    """Counters for one store session (reset when the store is opened).
+
+    ``hits``/``misses``/``stored`` count run records;
+    ``verdict_hits``/``verdict_misses``/``verdicts_stored`` count analysis
+    verdicts — kept separate so "a warm sweep executes 0 runs" and "a warm
+    analysis classifies 0 properties" stay independently checkable.
+    """
 
     hits: int = 0
     misses: int = 0
     stored: int = 0
+    verdict_hits: int = 0
+    verdict_misses: int = 0
+    verdicts_stored: int = 0
 
     def as_dict(self) -> Dict[str, int]:
-        return {"hits": self.hits, "misses": self.misses, "stored": self.stored}
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stored": self.stored,
+            "verdict_hits": self.verdict_hits,
+            "verdict_misses": self.verdict_misses,
+            "verdicts_stored": self.verdicts_stored,
+        }
 
 
 class StoreFormatError(RuntimeError):
@@ -93,6 +130,8 @@ class RunStore:
             :func:`~repro.store.fingerprint.code_fingerprint`.
         batch_size: Buffered ``put`` records per write transaction.
         cache_size: Entries held by the in-memory read LRU.
+        analysis_code_fp: Override the analysis code fingerprint (same
+            testing escape hatch, for the ``verdicts`` table).
     """
 
     def __init__(
@@ -101,15 +140,21 @@ class RunStore:
         code_fp: Optional[str] = None,
         batch_size: int = 128,
         cache_size: int = 4096,
+        analysis_code_fp: Optional[str] = None,
     ):
         if batch_size < 1:
             raise ValueError("batch_size must be at least 1")
         self.path = pathlib.Path(path)
         self.code_fp = code_fp if code_fp is not None else code_fingerprint()
+        self.analysis_code_fp = (
+            analysis_code_fp if analysis_code_fp is not None else analysis_code_fingerprint()
+        )
         self.batch_size = batch_size
         self.cache_size = cache_size
         self.stats = StoreStats()
         self._pending: Dict[_Key, Tuple[ScenarioSpec, RunResult]] = {}
+        self._pending_verdicts: Dict[Tuple[str, str], Tuple[Any, Any]] = {}
+        self._verdict_cache: Dict[Tuple[str, str], Any] = {}
         self._lru: "OrderedDict[_Key, RunResult]" = OrderedDict()
         self._fp_cache: Dict[ScenarioSpec, str] = {}
         self._conn: Optional[sqlite3.Connection] = None
@@ -252,32 +297,133 @@ class RunStore:
         self._flush_into(self._connection())
 
     def _flush_into(self, conn: sqlite3.Connection) -> None:
-        if not self._pending:
+        if not self._pending and not self._pending_verdicts:
             return
-        rows = [
-            (
-                key[0],
-                key[1],
-                key[2],
-                spec.name,
-                spec.protocol,
-                spec.adversary,
-                spec.delay,
-                spec.n,
-                spec.t,
-                1 if result.ok else 0,
-                result.canonical_json(),
+        if self._pending:
+            rows = [
+                (
+                    key[0],
+                    key[1],
+                    key[2],
+                    spec.name,
+                    spec.protocol,
+                    spec.adversary,
+                    spec.delay,
+                    spec.n,
+                    spec.t,
+                    1 if result.ok else 0,
+                    result.canonical_json(),
+                )
+                for key, (spec, result) in self._pending.items()
+            ]
+            conn.executemany(
+                "INSERT OR REPLACE INTO runs "
+                "(scenario_fp, seed, code_fp, scenario, protocol, adversary, delay, n, t, ok, result_json) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                rows,
             )
-            for key, (spec, result) in self._pending.items()
-        ]
-        conn.executemany(
-            "INSERT OR REPLACE INTO runs "
-            "(scenario_fp, seed, code_fp, scenario, protocol, adversary, delay, n, t, ok, result_json) "
-            "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
-            rows,
-        )
+        if self._pending_verdicts:
+            verdict_rows = [
+                (
+                    key[0],
+                    key[1],
+                    verdict.label,
+                    verdict.family,
+                    verdict.n,
+                    verdict.t,
+                    1 if verdict.solvable else 0,
+                    verdict.canonical_json(),
+                )
+                for key, (_task, verdict) in self._pending_verdicts.items()
+            ]
+            conn.executemany(
+                "INSERT OR REPLACE INTO verdicts "
+                "(task_fp, code_fp, label, family, n, t, solvable, verdict_json) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+                verdict_rows,
+            )
         conn.commit()
         self._pending.clear()
+        self._pending_verdicts.clear()
+
+    # ------------------------------------------------------------------
+    # Analysis verdicts (the ``analyze`` pipeline's cache)
+    # ------------------------------------------------------------------
+    def verdict_key(self, task: Any) -> Tuple[str, str]:
+        """The ``(task fingerprint, analysis code fingerprint)`` content key."""
+        return (task.fingerprint(), self.analysis_code_fp)
+
+    def get_verdict(self, task: Any) -> Optional[Any]:
+        """The cached verdict for a property task under the current analysis code."""
+        from ..analysis.pipeline import AnalysisVerdict
+
+        key = self.verdict_key(task)
+        cached = self._verdict_cache.get(key)
+        if cached is not None:
+            self.stats.verdict_hits += 1
+            return cached
+        pending = self._pending_verdicts.get(key)
+        if pending is not None:
+            self.stats.verdict_hits += 1
+            return pending[1]
+        row = self._connection().execute(
+            "SELECT verdict_json FROM verdicts WHERE task_fp=? AND code_fp=?", key
+        ).fetchone()
+        if row is None:
+            self.stats.verdict_misses += 1
+            return None
+        verdict = AnalysisVerdict.from_dict(json.loads(row[0]))
+        self._verdict_cache[key] = verdict
+        self.stats.verdict_hits += 1
+        return verdict
+
+    def put_verdict(self, task: Any, verdict: Any) -> None:
+        """Buffer one verdict for persistence (flushed with the run batch)."""
+        key = self.verdict_key(task)
+        self._pending_verdicts[key] = (task, verdict)
+        self._verdict_cache[key] = verdict
+        self.stats.verdicts_stored += 1
+        if len(self._pending) + len(self._pending_verdicts) >= self.batch_size:
+            self.flush()
+
+    def iter_verdicts(self, any_code: bool = False) -> Iterator[Any]:
+        """Stored verdicts in deterministic label order.
+
+        By default only verdicts under the *current* analysis code
+        fingerprint are returned; ``any_code=True`` includes stale ones, one
+        per label (current-code record preferred), mirroring
+        :meth:`iter_records`.
+        """
+        from ..analysis.pipeline import AnalysisVerdict
+
+        self.flush()
+        if not any_code:
+            cursor = self._connection().execute(
+                "SELECT verdict_json FROM verdicts WHERE code_fp=? ORDER BY label, task_fp",
+                (self.analysis_code_fp,),
+            )
+            for (verdict_json,) in cursor:
+                yield AnalysisVerdict.from_dict(json.loads(verdict_json))
+            return
+        cursor = self._connection().execute(
+            "SELECT label, code_fp, verdict_json FROM verdicts ORDER BY label, task_fp, code_fp"
+        )
+        chosen: "OrderedDict[str, str]" = OrderedDict()
+        current_code: Dict[str, bool] = {}
+        for label, code_fp, verdict_json in cursor:
+            if label not in chosen or (code_fp == self.analysis_code_fp and not current_code[label]):
+                chosen[label] = verdict_json
+                current_code[label] = code_fp == self.analysis_code_fp
+        for verdict_json in chosen.values():
+            yield AnalysisVerdict.from_dict(json.loads(verdict_json))
+
+    def count_verdicts(self, any_code: bool = False) -> int:
+        self.flush()
+        if any_code:
+            return self._connection().execute("SELECT COUNT(*) FROM verdicts").fetchone()[0]
+        return self._connection().execute(
+            "SELECT COUNT(*) FROM verdicts WHERE code_fp=?", (self.analysis_code_fp,)
+        ).fetchone()[0]
 
     # ------------------------------------------------------------------
     # Bulk reads (report / compare / maintenance)
@@ -370,12 +516,19 @@ class RunStore:
         return [(code_fp, count) for code_fp, count in cursor]
 
     def vacuum_stale(self) -> int:
-        """Delete records from other code fingerprints; returns rows removed."""
+        """Delete records from other code fingerprints; returns rows removed.
+
+        Covers both tables, each against its own fingerprint: runs against
+        the run-semantics code, verdicts against the analysis code.
+        """
         self.flush()
         conn = self._connection()
-        cursor = conn.execute("DELETE FROM runs WHERE code_fp != ?", (self.code_fp,))
+        removed = conn.execute("DELETE FROM runs WHERE code_fp != ?", (self.code_fp,)).rowcount
+        removed += conn.execute(
+            "DELETE FROM verdicts WHERE code_fp != ?", (self.analysis_code_fp,)
+        ).rowcount
         conn.commit()
-        return cursor.rowcount
+        return removed
 
 
 def is_run_store(path: Union[str, pathlib.Path]) -> bool:
