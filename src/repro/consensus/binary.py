@@ -30,6 +30,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, Optional, Set
 
+from ..sim import instrument
 from ..sim.process import Process, ProtocolModule
 from .interfaces import ConsensusModule, DecisionCallback
 
@@ -107,6 +108,16 @@ class BinaryConsensus(ConsensusModule):
     def _on_bval(self, sender: int, round_number: int, value: int) -> None:
         senders = self._bval_senders.setdefault(round_number, {}).setdefault(value, set())
         senders.add(sender)
+        if instrument.SINK is not None:
+            # Coverage: how close each BV threshold is to tipping for this value.
+            instrument.SINK.add(
+                (
+                    "binary.bval",
+                    instrument.bucket(round_number),
+                    value,
+                    instrument.margin(len(senders), 2 * self.system.t + 1),
+                )
+            )
         if len(senders) >= self.system.t + 1:
             # Echo: at least one correct process sent this value.
             self._broadcast_bval(round_number, value)
@@ -133,6 +144,14 @@ class BinaryConsensus(ConsensusModule):
             for sender, value in self._aux_received.get(round_number, {}).items()
             if value in bin_values
         }
+        if instrument.SINK is not None:
+            instrument.SINK.add(
+                (
+                    "binary.aux",
+                    instrument.bucket(round_number),
+                    instrument.margin(len(supported), self.system.quorum),
+                )
+            )
         if len(supported) < self.system.quorum:
             return
         values = set(supported.values())
@@ -145,6 +164,10 @@ class BinaryConsensus(ConsensusModule):
                 self._decide_and_schedule_halt(only_value, round_number)
         else:
             self.estimate = fallback
+        if instrument.SINK is not None:
+            instrument.SINK.add(
+                ("binary.round", instrument.bucket(round_number), len(values), self.estimate)
+            )
         self._start_round(round_number + 1)
 
     def _decide_and_schedule_halt(self, value: int, round_number: int) -> None:

@@ -31,6 +31,7 @@ from typing import Any, Callable, Dict, Optional, Tuple
 
 from ..crypto.hashing import digest
 from ..crypto.threshold import PartialSignature, ThresholdScheme, ThresholdSignature
+from ..sim import instrument
 from ..sim.process import Process, ProtocolModule
 from .interfaces import ConsensusModule, DecisionCallback
 
@@ -196,6 +197,14 @@ class Quad(ConsensusModule):
         own_prepare = self._highest_prepare_payload()
         candidates = dict(received)
         candidates[self.pid] = self._validated_prepare(own_prepare)
+        if instrument.SINK is not None:
+            instrument.SINK.add(
+                (
+                    "quad.lead",
+                    instrument.bucket(view),
+                    instrument.margin(len(candidates), self.system.quorum),
+                )
+            )
         if len(candidates) < self.system.quorum:
             return
         best = None
@@ -228,6 +237,14 @@ class Quad(ConsensusModule):
             return
         votes = self._prepare_votes.setdefault(view, {})
         votes[sender] = share
+        if instrument.SINK is not None:
+            instrument.SINK.add(
+                (
+                    "quad.prepare",
+                    instrument.bucket(view),
+                    instrument.margin(len(votes), self.system.quorum),
+                )
+            )
         if len(votes) >= self.system.quorum:
             certificate = PrepareCertificate(
                 view=view,
@@ -250,6 +267,14 @@ class Quad(ConsensusModule):
             return
         votes = self._commit_votes.setdefault(view, {})
         votes[sender] = share
+        if instrument.SINK is not None:
+            instrument.SINK.add(
+                (
+                    "quad.commit",
+                    instrument.bucket(view),
+                    instrument.margin(len(votes), self.system.quorum),
+                )
+            )
         if len(votes) >= self.system.quorum:
             commit_certificate = self.scheme.combine(votes.values(), ("commit", view, value_digest))
             self._decided_in_view.add(view)
@@ -262,7 +287,10 @@ class Quad(ConsensusModule):
             return
         if not self.verify(value, proof):
             return
-        if not self._safe_to_vote(value, justification):
+        safe = self._safe_to_vote(value, justification)
+        if instrument.SINK is not None:
+            instrument.SINK.add(("quad.propose", instrument.bucket(view), safe, self.locked is not None))
+        if not safe:
             return
         if sender == self.pid:
             self._current_view_value[view] = (value, proof)
@@ -301,6 +329,8 @@ class Quad(ConsensusModule):
             return
         if self.locked is None or view >= self.locked[2]:
             self.locked = (value, proof, view)
+            if instrument.SINK is not None:
+                instrument.SINK.add(("quad.lock", instrument.bucket(view)))
         if self.highest_prepare is None or certificate.view > self.highest_prepare[0].view:
             self.highest_prepare = (certificate, value, proof)
         share = self.scheme.partial_sign(self.pid, ("commit", view, certificate.value_digest))

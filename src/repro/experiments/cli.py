@@ -32,9 +32,18 @@ Examples::
     python -m repro.experiments analyze --parallel 4 --store runs.db
     python -m repro.experiments analyze --check-baseline
 
+    # Coverage-guided adversarial fuzzing over scenario space: mutate the
+    # base scenarios, persist the corpus in the run store (a warm re-fuzz
+    # executes nothing), shrink violations to minimal replayable specs.
+    python -m repro.experiments fuzz --budget 200 --seed 2023 --store runs.db \
+        --counterexamples out/counterexamples
+    python -m repro.experiments run --spec out/counterexamples/counterexample-XYZ.json
+
 The process exits non-zero when any run errors out, violates a correctness
 property, or regresses against the baseline — which makes the command usable
-directly as a CI gate.
+directly as a CI gate.  Exit codes: 0 success, 1 failures/regressions,
+2 configuration errors, 3 empty slice (``report``/``compare`` found no
+matching records).
 """
 
 from __future__ import annotations
@@ -55,6 +64,37 @@ DEFAULT_VERDICT_BASELINE = pathlib.Path("benchmarks/baselines/analysis_verdicts.
 
 DEFAULT_MATRIX_BASELINE = pathlib.Path("benchmarks/baselines/scenario_matrix.json")
 """The committed scenario-matrix baseline the cross-check reads by default."""
+
+DEFAULT_FUZZ_BASES = ("binary+none+partition", "quad+none+synchronous")
+"""Default fuzz bases: one leaderless and one leader-based protocol, with
+room for the mutation walk to move both toward their resilience bounds."""
+
+EXIT_EMPTY_SLICE = 3
+"""Exit code when ``report``/``compare`` match no (current-code) records —
+distinct from 2 (configuration error) so CI can tell "you asked for nothing"
+from "you asked wrongly"."""
+
+
+def _positive_int(raw: str) -> int:
+    """argparse type: a strictly positive integer (worker counts)."""
+    try:
+        value = int(raw)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a positive integer, got {raw!r}") from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"expected a positive integer, got {value}")
+    return value
+
+
+def _positive_float(raw: str) -> float:
+    """argparse type: a strictly positive number (timeouts)."""
+    try:
+        value = float(raw)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a positive number, got {raw!r}") from None
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"expected a positive number, got {value}")
+    return value
 
 
 def _add_slice_arguments(parser: argparse.ArgumentParser, with_scenario: bool = True) -> None:
@@ -83,11 +123,24 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_slice_arguments(run)
     run.add_argument(
         "--seeds",
-        default="1",
-        help=f"either a count (seeds {DEFAULT_SEED}, {DEFAULT_SEED + 1}, ...) or a comma list",
+        default=None,
+        help=f"either a count (seeds {DEFAULT_SEED}, {DEFAULT_SEED + 1}, ...) or a comma list "
+        "(default: 1 seed; with --spec: the seed recorded in the file)",
     )
-    run.add_argument("--parallel", type=int, default=None, metavar="W", help="worker processes (default: serial)")
-    run.add_argument("--timeout", type=float, default=None, help="per-run wall-clock timeout in seconds")
+    run.add_argument(
+        "--spec",
+        type=pathlib.Path,
+        default=None,
+        metavar="FILE",
+        help="replay a single scenario from JSON — a fuzz counterexample file or a bare "
+        "spec payload (as in --list --json); overrides any matrix slice selection",
+    )
+    run.add_argument(
+        "--parallel", type=_positive_int, default=None, metavar="W", help="worker processes (default: serial)"
+    )
+    run.add_argument(
+        "--timeout", type=_positive_float, default=None, help="per-run wall-clock timeout in seconds"
+    )
     run.add_argument(
         "--store",
         type=pathlib.Path,
@@ -142,7 +195,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "properties the scenario matrix targets)",
     )
     analyze.add_argument(
-        "--parallel", type=int, default=None, metavar="W", help="worker processes (default: serial)"
+        "--parallel", type=_positive_int, default=None, metavar="W", help="worker processes (default: serial)"
     )
     analyze.add_argument(
         "--store",
@@ -192,6 +245,64 @@ def _build_parser() -> argparse.ArgumentParser:
         f"(default: {DEFAULT_MATRIX_BASELINE})",
     )
     analyze.add_argument("--quiet", action="store_true", help="only print failures")
+
+    fuzz = subparsers.add_parser(
+        "fuzz",
+        help="coverage-guided adversarial fuzzing over scenario space",
+        description="Mutate the base scenarios under a seeded walk, score executions by "
+        "coverage novelty, persist the corpus in the run store, and shrink every "
+        "violating input to a minimal replayable counterexample (run --spec replays it). "
+        "Deterministic: same seed, budget and bases produce the same campaign, serial "
+        "or parallel.",
+    )
+    fuzz.add_argument(
+        "--budget", type=_positive_int, default=200, help="candidates to process (default: 200)"
+    )
+    fuzz.add_argument(
+        "--seed",
+        type=int,
+        default=DEFAULT_SEED,
+        help=f"fuzz seed driving the mutation walk (default: {DEFAULT_SEED})",
+    )
+    fuzz.add_argument(
+        "--base",
+        nargs="+",
+        default=None,
+        metavar="NAME",
+        help="base scenarios to mutate from: default-matrix names or protocol+adversary+delay "
+        f"combinations, extension keys included (default: {' '.join(DEFAULT_FUZZ_BASES)})",
+    )
+    fuzz.add_argument(
+        "--store",
+        type=pathlib.Path,
+        default=None,
+        help="persistent run store: results + corpus are content-addressed there, so a "
+        "warm re-fuzz of the same campaign executes zero runs",
+    )
+    fuzz.add_argument(
+        "--parallel", type=_positive_int, default=None, metavar="W", help="worker processes (default: serial)"
+    )
+    fuzz.add_argument(
+        "--timeout", type=_positive_float, default=None, help="per-run wall-clock timeout in seconds"
+    )
+    fuzz.add_argument(
+        "--counterexamples",
+        type=pathlib.Path,
+        default=None,
+        metavar="DIR",
+        help="write each shrunk counterexample as a replayable JSON file in DIR",
+    )
+    fuzz.add_argument(
+        "--json-output", type=pathlib.Path, default=None, help="write the full campaign report as JSON"
+    )
+    fuzz.add_argument(
+        "--require-cached",
+        action="store_true",
+        help="with --store: exit non-zero unless the whole campaign was served from the "
+        "store (CI uses this to prove a warm re-fuzz executes nothing)",
+    )
+    fuzz.add_argument("--no-shrink", action="store_true", help="report violations unshrunk")
+    fuzz.add_argument("--quiet", action="store_true", help="suppress per-round progress lines")
 
     compare = subparsers.add_parser(
         "compare", help="diff a store against another store or a JSON baseline"
@@ -286,10 +397,49 @@ def _fail(message: str) -> int:
     return 2
 
 
+def _fail_empty(message: str) -> int:
+    print(f"empty slice: {message}", file=sys.stderr)
+    return EXIT_EMPTY_SLICE
+
+
+def _load_spec_file(path: pathlib.Path, seeds_arg: Optional[str]):
+    """Load ``run --spec FILE``: a counterexample record or a bare spec payload.
+
+    Returns ``(scenarios, seeds)``.  The file's recorded seed is the default
+    seed list, so replaying a fuzz counterexample reproduces the exact run;
+    an explicit ``--seeds`` still wins.
+    """
+    from ..store.fingerprint import spec_from_payload
+
+    try:
+        payload = json.loads(path.read_text())
+    except OSError as exc:
+        raise ValueError(f"cannot read spec file {path}: {exc}") from None
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"spec file {path} is not valid JSON: {exc}") from None
+    if not isinstance(payload, dict):
+        raise ValueError(f"spec file {path} must contain a JSON object")
+    record = payload.get("spec", payload)
+    try:
+        spec = spec_from_payload(record)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ValueError(f"spec file {path} has missing or invalid spec fields: {exc}") from None
+    if seeds_arg is not None:
+        seeds = _parse_seeds(seeds_arg)
+    elif "seed" in payload:
+        seeds = [int(payload["seed"])]
+    else:
+        seeds = [DEFAULT_SEED]
+    return [spec], seeds
+
+
 def _command_run(args: argparse.Namespace) -> int:
     try:
-        scenarios = _select_scenarios(args)
-        seeds = _parse_seeds(args.seeds)
+        if args.spec is not None:
+            scenarios, seeds = _load_spec_file(args.spec, args.seeds)
+        else:
+            scenarios = _select_scenarios(args)
+            seeds = _parse_seeds(args.seeds if args.seeds is not None else "1")
     except (KeyError, ValueError) as exc:
         return _fail(exc.args[0] if exc.args else str(exc))
     if not scenarios:
@@ -413,7 +563,7 @@ def _command_report(args: argparse.Namespace) -> int:
             if stale and not args.any_code
             else ""
         )
-        return _fail(f"no stored records match the requested slice{hint}")
+        return _fail_empty(f"no stored records match the requested slice{hint}")
     if not args.quiet:
         print(render_table(summaries))
         if stale and not args.any_code:
@@ -566,8 +716,120 @@ def _command_analyze(args: argparse.Namespace) -> int:
             store.close()
 
 
+def _resolve_fuzz_bases(names: Sequence[str]) -> List[ScenarioSpec]:
+    """Resolve ``--base`` names: default-matrix names, else registry keys.
+
+    Extension-registered adversaries and delay models (``splitbrain``,
+    ``stalled``) are not in the default matrix, so a ``protocol+adversary+delay``
+    combination that names registered keys is built directly.
+    """
+    from .scenario import make_scenario
+
+    by_name = {spec.name: spec for spec in default_matrix()}
+    specs = []
+    for name in names:
+        if name in by_name:
+            specs.append(by_name[name])
+            continue
+        parts = name.split("+")
+        if len(parts) != 3:
+            raise KeyError(
+                f"unknown fuzz base {name!r}: not a default-matrix scenario and not a "
+                "protocol+adversary+delay combination"
+            )
+        specs.append(make_scenario(parts[0], parts[1], parts[2]))
+    return specs
+
+
+def _command_fuzz(args: argparse.Namespace) -> int:
+    from ..fuzz import run_fuzz
+
+    try:
+        bases = _resolve_fuzz_bases(args.base if args.base else DEFAULT_FUZZ_BASES)
+    except KeyError as exc:
+        return _fail(exc.args[0] if exc.args else str(exc))
+    if args.require_cached and args.store is None:
+        return _fail("--require-cached only makes sense with --store")
+
+    store = None
+    if args.store is not None:
+        from ..store import RunStore, StoreFormatError
+
+        try:
+            store = RunStore(args.store)
+        except StoreFormatError as exc:
+            return _fail(str(exc))
+
+    log = None if args.quiet else print
+    try:
+        with Runner(parallel=args.parallel, timeout=args.timeout) as runner:
+            try:
+                report = run_fuzz(
+                    bases,
+                    args.budget,
+                    args.seed,
+                    store=store,
+                    runner=runner,
+                    shrink=not args.no_shrink,
+                    log=log,
+                )
+            except ValueError as exc:
+                return _fail(str(exc))
+
+        print(
+            f"fuzz seed={report.fuzz_seed}: {report.candidates} candidates "
+            f"({report.executed} executed, {report.cached} cached, "
+            f"{report.skipped_invalid} invalid skipped)"
+        )
+        print(
+            f"  coverage: {report.coverage_sites} sites, {report.novel} novel inputs, "
+            f"pool {report.pool_size}"
+        )
+        print(
+            f"  violations: {report.violating} inputs, "
+            f"{len(report.counterexamples)} distinct counterexample(s)"
+        )
+        for counterexample in report.counterexamples:
+            print(
+                f"  counterexample {counterexample['scenario']} seed={counterexample['seed']} "
+                f"({len(counterexample['mutations'])} mutation(s) from {counterexample['base']}): "
+                + "; ".join(counterexample["violations"])
+            )
+
+        exit_code = 0
+        if store is not None:
+            stats = store.stats
+            print(
+                f"store {args.store}: {report.cached} cached, {report.executed} executed, "
+                f"{stats.stored} runs + {stats.corpus_stored} corpus entries stored"
+            )
+            if args.require_cached and report.executed:
+                print(
+                    f"  REQUIRE-CACHED failed: {report.executed} of {report.candidates} "
+                    "candidates were not in the store",
+                    file=sys.stderr,
+                )
+                exit_code = 1
+        if args.counterexamples is not None:
+            args.counterexamples.mkdir(parents=True, exist_ok=True)
+            for counterexample in report.counterexamples:
+                path = args.counterexamples / f"counterexample-{counterexample['entry_fp'][:16]}.json"
+                path.write_text(json.dumps(counterexample, sort_keys=True, indent=2) + "\n")
+            print(
+                f"wrote {len(report.counterexamples)} counterexample(s) to {args.counterexamples} "
+                "(replay with: run --spec FILE)"
+            )
+        if args.json_output is not None:
+            args.json_output.write_text(json.dumps(report.to_dict(), sort_keys=True, indent=2) + "\n")
+            print(f"wrote campaign report to {args.json_output}")
+        return exit_code
+    finally:
+        if store is not None:
+            store.close()
+
+
 def _command_compare(args: argparse.Namespace) -> int:
-    from ..store import RunStore, StoreFormatError, compare_with_reference
+    from ..store import EmptySliceError, RunStore, StoreFormatError, compare_with_reference
 
     if not args.store.exists():
         return _fail(f"store {args.store} does not exist")
@@ -582,6 +844,8 @@ def _command_compare(args: argparse.Namespace) -> int:
                 scenarios=args.scenario,
                 any_code=args.any_code,
             )
+    except EmptySliceError as exc:
+        return _fail_empty(str(exc))
     except (ValueError, StoreFormatError) as exc:
         return _fail(str(exc))
     for regression in regressions:
@@ -604,6 +868,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_report(args)
     if args.command == "analyze":
         return _command_analyze(args)
+    if args.command == "fuzz":
+        return _command_fuzz(args)
     if args.command == "compare":
         return _command_compare(args)
     parser.error(f"unknown command {args.command!r}")

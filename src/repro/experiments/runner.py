@@ -242,6 +242,14 @@ def _execute_with_timeout(item: Tuple[ScenarioSpec, int, Optional[float]]) -> Ru
     try:
         result = execute_run(spec, seed)
         _ALARM_ARMED = False
+        if signal.getitimer(signal.ITIMER_REAL)[0] == 0.0:
+            # The interval timer has expired, so the deadline passed while
+            # execute_run was still working — if it returned anyway, a broad
+            # ``except Exception`` somewhere inside protocol or checker code
+            # swallowed _RunTimeout and fabricated an ordinary record.  The
+            # deadline is authoritative: report the timeout, never the
+            # fabricated result (which would otherwise be persisted).
+            return _timeout_result(spec, seed, timeout)
         return result
     except _RunTimeout:
         return _timeout_result(spec, seed, timeout)

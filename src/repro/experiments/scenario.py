@@ -32,8 +32,20 @@ from ..consensus.vector_authenticated import SignedProposal
 from ..core.input_config import InputConfiguration
 from ..core.system import SystemConfig
 from ..core.universal import UniversalSpec
-from ..sim.adversary import crash_factory, dropping_factory, equivocating_factory, silent_factory
-from ..sim.network import DelayModel, JitteredDelayModel, PartitionDelayModel, SynchronousDelayModel
+from ..sim.adversary import (
+    QuadSplitBrainLeader,
+    crash_factory,
+    dropping_factory,
+    equivocating_factory,
+    silent_factory,
+)
+from ..sim.network import (
+    DelayModel,
+    JitteredDelayModel,
+    PartitionDelayModel,
+    StalledDelayModel,
+    SynchronousDelayModel,
+)
 from ..sim.process import Process
 from ..sim.simulation import Simulation
 
@@ -115,6 +127,14 @@ PROTOCOLS: Dict[str, ProtocolBuilder] = {}
 ADVERSARIES: Dict[str, AdversaryBuilder] = {}
 DELAY_MODELS: Dict[str, DelayBuilder] = {}
 
+# Keys registered with ``extension=True`` are resolvable by name everywhere
+# (make_scenario, the fuzzer, explicit CLI selections) but are *excluded* from
+# the cartesian defaults of :func:`scenario_matrix`, so adding an attack
+# surface never silently grows the default sweep or invalidates committed
+# baselines.
+EXTENSION_ADVERSARIES: set = set()
+EXTENSION_DELAY_MODELS: set = set()
+
 
 def register_protocol(key: str) -> Callable[[ProtocolBuilder], ProtocolBuilder]:
     def decorate(builder: ProtocolBuilder) -> ProtocolBuilder:
@@ -126,21 +146,25 @@ def register_protocol(key: str) -> Callable[[ProtocolBuilder], ProtocolBuilder]:
     return decorate
 
 
-def register_adversary(key: str) -> Callable[[AdversaryBuilder], AdversaryBuilder]:
+def register_adversary(key: str, extension: bool = False) -> Callable[[AdversaryBuilder], AdversaryBuilder]:
     def decorate(builder: AdversaryBuilder) -> AdversaryBuilder:
         if key in ADVERSARIES:
             raise ValueError(f"adversary {key!r} already registered")
         ADVERSARIES[key] = builder
+        if extension:
+            EXTENSION_ADVERSARIES.add(key)
         return builder
 
     return decorate
 
 
-def register_delay_model(key: str) -> Callable[[DelayBuilder], DelayBuilder]:
+def register_delay_model(key: str, extension: bool = False) -> Callable[[DelayBuilder], DelayBuilder]:
     def decorate(builder: DelayBuilder) -> DelayBuilder:
         if key in DELAY_MODELS:
             raise ValueError(f"delay model {key!r} already registered")
         DELAY_MODELS[key] = builder
+        if extension:
+            EXTENSION_DELAY_MODELS.add(key)
         return builder
 
     return decorate
@@ -364,6 +388,25 @@ def _build_equivocation(spec, system, correct_factory, seed):
     return _faulty_indices(system), attack(spec, seed)
 
 
+@register_adversary("splitbrain", extension=True)
+def _build_splitbrain(spec, system, correct_factory, seed):
+    """Colluding split-brain leader for Quad (succeeds exactly when n <= 3t).
+
+    An *extension* adversary: it targets Quad's leader/certificate structure
+    specifically, so it is reachable by name (and by the fuzzer) without
+    joining the cartesian default matrix.
+    """
+    if spec.protocol != "quad":
+        raise KeyError(
+            f"adversary 'splitbrain' targets the 'quad' protocol, not {spec.protocol!r}"
+        )
+
+    def build(pid: int, simulation: Simulation) -> Process:
+        return QuadSplitBrainLeader(pid, simulation, proof_for=lambda value: ("ok", value))
+
+    return _faulty_indices(system), build
+
+
 # ----------------------------------------------------------------------
 # Delay models
 # ----------------------------------------------------------------------
@@ -402,6 +445,21 @@ def _build_jittered(spec: ScenarioSpec, seed: int) -> DelayModel:
         gst=spec.param("gst", 5.0),
         delta=spec.param("delta", 1.0),
         alpha=spec.param("alpha", 1.5),
+        seed=seed,
+    )
+
+
+@register_delay_model("stalled", extension=True)
+def _build_stalled(spec: ScenarioSpec, seed: int) -> DelayModel:
+    """Favour the corrupted (last ``t``) indices until ``stall_until`` (= GST).
+
+    The scheduling companion of the split-brain adversary: correct-to-correct
+    traffic stalls while the Byzantine leader talks to everyone promptly.
+    """
+    return StalledDelayModel(
+        favoured=set(range(spec.n - spec.t, spec.n)),
+        stall_until=spec.param("stall_until", 120.0),
+        delta=spec.param("delta", 1.0),
         seed=seed,
     )
 
@@ -455,12 +513,24 @@ def scenario_matrix(
     t: int = 1,
     property_key: str = "strong",
 ) -> List[ScenarioSpec]:
-    """The named cartesian matrix over the given (default: all registered) keys."""
+    """The named cartesian matrix over the given keys.
+
+    Defaults cover every registered non-extension key; extension adversaries
+    and delay models (see :func:`register_adversary`) participate only when
+    named explicitly, so the default matrix is stable across attack-surface
+    additions.
+    """
     specs = [
         make_scenario(protocol, adversary, delay, n=n, t=t, property_key=property_key)
         for protocol in (protocols if protocols is not None else sorted(PROTOCOLS))
-        for adversary in (adversaries if adversaries is not None else sorted(ADVERSARIES))
-        for delay in (delays if delays is not None else sorted(DELAY_MODELS))
+        for adversary in (
+            adversaries
+            if adversaries is not None
+            else sorted(set(ADVERSARIES) - EXTENSION_ADVERSARIES)
+        )
+        for delay in (
+            delays if delays is not None else sorted(set(DELAY_MODELS) - EXTENSION_DELAY_MODELS)
+        )
     ]
     names = [spec.name for spec in specs]
     if len(set(names)) != len(names):

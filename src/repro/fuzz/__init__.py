@@ -1,0 +1,46 @@
+"""Coverage-guided adversarial fuzzer over scenario space.
+
+The sweep matrix samples the protocol × adversary × delay space at points a
+human named in advance; the claims of the paper are quantified over *all*
+executions.  This package closes some of that gap mechanically: a
+deterministic, coverage-guided fuzzer perturbs :class:`ScenarioSpec`-adjacent
+inputs (adversary choice, delay schedule, per-run seeds, system size,
+attack-specific parameters), scores each mutated execution by the novelty of
+the protocol decision branches it exercises (via the read-only probes in
+:mod:`repro.sim.instrument`), keeps novel inputs in a persisted,
+content-addressed corpus, and shrinks every violating input to a minimal
+replayable counterexample.
+
+* :mod:`repro.fuzz.mutation` — the plain-data mutation vocabulary and its
+  deterministic application to a base ``(spec, seed)``;
+* :mod:`repro.fuzz.coverage` — the novelty scorer over canonical coverage
+  tuples;
+* :mod:`repro.fuzz.engine` — the campaign loop: deterministic candidate
+  generation, batched execution on the persistent
+  :class:`~repro.experiments.runner.Runner` pool, corpus persistence through
+  :class:`~repro.store.RunStore` (a warm re-fuzz executes zero runs);
+* :mod:`repro.fuzz.shrink` — delta-debugging of a violating mutation list
+  down to a locally minimal one.
+
+Everything is deterministic under a fixed fuzz seed: serial and parallel
+campaigns visit byte-identical candidates and produce identical corpus
+fingerprints and shrunk counterexamples.
+"""
+
+from .coverage import CoverageMap
+from .engine import FuzzReport, fuzz_execute, run_fuzz
+from .mutation import Mutation, apply_mutations, mutation_palette, spec_is_fuzzable
+from .shrink import shrink_mutations, violation_kinds
+
+__all__ = [
+    "CoverageMap",
+    "FuzzReport",
+    "Mutation",
+    "apply_mutations",
+    "fuzz_execute",
+    "mutation_palette",
+    "run_fuzz",
+    "shrink_mutations",
+    "spec_is_fuzzable",
+    "violation_kinds",
+]

@@ -1,0 +1,50 @@
+"""Novelty scoring over canonical coverage tuples.
+
+The probes in :mod:`repro.sim.instrument` reduce one execution to a set of
+canonical site strings (decision branches taken, quorum margins observed).
+:class:`CoverageMap` accumulates the union over a campaign and scores each
+new execution by what it adds:
+
+* **novelty** — the number of sites never seen before; any positive novelty
+  keeps the input in the corpus (it reached code/margin territory no earlier
+  input reached);
+* **proximity** — the number of near-miss quorum sites (margin buckets
+  ``m1``/``m2``: one or two votes short of a threshold).  Near-miss inputs
+  are the most promising mutation bases — one more perturbation may tip a
+  quorum the wrong way — so the campaign weights its base selection by this.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Set, Tuple
+
+_NEAR_MISS_MARKERS = (":m1", ":m2")
+
+
+def proximity_score(coverage: Sequence[str]) -> int:
+    """How many near-miss quorum sites an execution touched."""
+    return sum(1 for site in coverage if site.endswith(_NEAR_MISS_MARKERS))
+
+
+class CoverageMap:
+    """The campaign-wide union of observed coverage sites."""
+
+    def __init__(self) -> None:
+        self._seen: Set[str] = set()
+
+    def __len__(self) -> int:
+        return len(self._seen)
+
+    def __contains__(self, site: str) -> bool:
+        return site in self._seen
+
+    def observe(self, coverage: Sequence[str]) -> int:
+        """Merge one execution's coverage; returns the number of new sites."""
+        seen = self._seen
+        new = [site for site in coverage if site not in seen]
+        seen.update(new)
+        return len(new)
+
+    def snapshot(self) -> Tuple[str, ...]:
+        """The accumulated sites in canonical (sorted) order."""
+        return tuple(sorted(self._seen))

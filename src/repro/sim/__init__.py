@@ -4,6 +4,7 @@ from .adversary import (
     CrashProcess,
     EquivocatingProposer,
     MessageDroppingProcess,
+    QuadSplitBrainLeader,
     SilentProcess,
     crash_factory,
     dropping_factory,
@@ -12,7 +13,13 @@ from .adversary import (
 )
 from .events import Envelope, Event, MessageDelivery, TimerExpiry
 from .metrics import MetricsCollector, word_size
-from .network import DelayModel, JitteredDelayModel, PartitionDelayModel, SynchronousDelayModel
+from .network import (
+    DelayModel,
+    JitteredDelayModel,
+    PartitionDelayModel,
+    StalledDelayModel,
+    SynchronousDelayModel,
+)
 from .process import Process, ProtocolModule
 from .simulation import Simulation, SimulationError
 
@@ -29,12 +36,14 @@ __all__ = [
     "SynchronousDelayModel",
     "PartitionDelayModel",
     "JitteredDelayModel",
+    "StalledDelayModel",
     "MetricsCollector",
     "word_size",
     "SilentProcess",
     "CrashProcess",
     "MessageDroppingProcess",
     "EquivocatingProposer",
+    "QuadSplitBrainLeader",
     "silent_factory",
     "crash_factory",
     "dropping_factory",

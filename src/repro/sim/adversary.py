@@ -14,9 +14,18 @@ module collects the behaviours used by the tests and experiments:
 * :class:`MessageDroppingProcess` — wraps a correct implementation but drops
   a configurable fraction of its outgoing messages (used for robustness and
   failure-injection tests).
+* :class:`QuadSplitBrainLeader` — a colluding Byzantine leader for the Quad
+  protocol that drives two disjoint halves of the correct processes to
+  conflicting decisions; it succeeds exactly when ``n <= 3t`` (two
+  ``n - t`` quorums need not intersect in a correct process), which is the
+  resilience bound of the paper's Theorem 1 made executable.
 
-All behaviours only use their own signing key: the simulated PKI's
-unforgeability assumption is never violated.
+The individual-fault behaviours only ever use their own signing key, so the
+simulated PKI's unforgeability assumption is never violated.  The split-brain
+leader additionally produces threshold shares for its *fellow corrupted*
+processes: in the paper's model all ``t`` corruptions are controlled by a
+single adversary entity that knows every corrupted key, so colluding shares
+are model-faithful — no correct process's key is ever used.
 """
 
 from __future__ import annotations
@@ -176,6 +185,137 @@ class EquivocatingProposer(Process):
             else:
                 payload = value
             self.send_raw(receiver, Envelope(self.target_path, payload))
+
+
+class QuadSplitBrainLeader(Process):
+    """Colluding Byzantine leader that splits Quad into two decision brains.
+
+    The attack (executable form of the paper's ``n > 3t`` necessity
+    argument): the first corrupted process leads view ``n - t + 1`` under
+    Quad's round-robin assignment.  Correct replicas advance views on
+    synchronized local timers, so they all sit in that view during a known
+    window.  Under a :class:`~repro.sim.network.StalledDelayModel` that
+    favours the corrupted processes, the leader
+
+    1. sends *conflicting* ``PROPOSE`` messages to two disjoint halves of the
+       correct processes (each value carries a proof the protocol's
+       ``verify`` accepts);
+    2. collects each half's ``PREPARE_VOTE`` threshold shares promptly
+       (replica-to-leader traffic is favoured);
+    3. tops each half's votes up with shares minted for its *fellow
+       corrupted* processes — the single adversary entity controls all ``t``
+       corrupted keys, so this never touches a correct process's key — and
+       combines two valid :class:`~repro.consensus.quad.PrepareCertificate`
+       objects;
+    4. repeats the same trick for the commit phase and sends each half its
+       own valid ``DECIDE`` certificate.
+
+    Each half needs ``quorum - t = n - 2t`` correct votes, so with the
+    correct processes split ``floor((n-t)/2)`` / the rest the attack closes
+    both certificates iff ``n <= 3t``; at ``n > 3t`` one half falls short,
+    agreement survives, and the run degrades to a liveness hiccup that heals
+    at GST.  Decisions are sticky (first one wins), so the split persists
+    when the stall lifts and the halves' decision relays finally cross.
+
+    Only the first corrupted index runs the attack; the remaining corrupted
+    processes stay silent (their keys are what the leader mints shares for).
+    """
+
+    def __init__(
+        self,
+        pid: int,
+        simulation: Simulation,
+        values: tuple = ("splitA", "splitB"),
+        proof_for: Optional[Callable[[Any], Any]] = None,
+        view_duration: float = 8.0,
+        attack_offset: float = 0.2,
+    ):
+        super().__init__(pid, simulation)
+        from ..crypto.threshold import ThresholdScheme
+
+        system = simulation.system
+        delta = simulation.delay_model.delta
+        self.colluders = tuple(range(system.n - system.t, system.n))
+        self.attack_view = system.n - system.t + 1
+        self.view_duration = view_duration * delta
+        self.attack_offset = attack_offset * delta
+        self.values = tuple(values)
+        # Quad's external validity predicate is scenario-defined; the attack
+        # needs proofs that predicate accepts, so the proof builder is a knob.
+        self.proof_for = proof_for if proof_for is not None else (lambda value: ("ok", value))
+        self._scheme = ThresholdScheme(simulation.authority, threshold=system.quorum)
+        self._sides: Dict[str, tuple] = {}  # value digest -> (value, half members)
+        self._prepare_votes: Dict[str, Dict[int, Any]] = {}
+        self._commit_votes: Dict[str, Dict[int, Any]] = {}
+        self._precommitted: set = set()
+        self._decided: set = set()
+
+    def on_start(self) -> None:
+        if self.pid != self.colluders[0]:
+            return  # fellow corrupted processes take no step of their own
+        from ..crypto.hashing import digest
+
+        correct = sorted(set(range(self.n)) - set(self.colluders))
+        half = len(correct) // 2
+        if half == 0:
+            return  # no two non-empty halves to split
+        value_a, value_b = self.values[0], self.values[1]
+        self._sides = {
+            digest(value_a): (value_a, tuple(correct[:half])),
+            digest(value_b): (value_b, tuple(correct[half:])),
+        }
+        # Fire just after every correct replica has entered the attack view.
+        at = (self.attack_view - 1) * self.view_duration + self.attack_offset
+        self.set_timer_raw(max(at - self.now, 0.0), (), "splitbrain")
+
+    def on_timer(self, tag: Any) -> None:
+        if tag != "splitbrain":
+            return
+        view = self.attack_view
+        for value, members in self._sides.values():
+            payload = ("propose", view, value, self.proof_for(value), None)
+            for receiver in members:
+                self.send_raw(receiver, Envelope(("quad",), payload))
+
+    def deliver_message(self, delivery: MessageDelivery) -> None:
+        payload = delivery.envelope.payload
+        if not isinstance(payload, tuple) or len(payload) != 4:
+            return
+        kind, view, value_digest, share = payload
+        if view != self.attack_view or value_digest not in self._sides:
+            return
+        if kind == "prepare_vote":
+            self._collect(delivery.sender, value_digest, share, phase="prepare")
+        elif kind == "commit_vote":
+            self._collect(delivery.sender, value_digest, share, phase="commit")
+
+    def _collect(self, sender: int, value_digest: str, share: Any, phase: str) -> None:
+        from ..consensus.quad import PrepareCertificate
+
+        votes = (self._prepare_votes if phase == "prepare" else self._commit_votes).setdefault(
+            value_digest, {}
+        )
+        votes[sender] = share
+        closed = self._precommitted if phase == "prepare" else self._decided
+        needed_correct = max(self.system.quorum - len(self.colluders), 1)
+        if len(votes) < needed_correct or value_digest in closed:
+            return
+        closed.add(value_digest)
+        view = self.attack_view
+        message = (phase, view, value_digest)
+        shares = list(votes.values()) + [
+            self._scheme.partial_sign(colluder, message) for colluder in self.colluders
+        ]
+        signature = self._scheme.combine(shares, message)
+        value, members = self._sides[value_digest]
+        proof = self.proof_for(value)
+        if phase == "prepare":
+            certificate = PrepareCertificate(view=view, value_digest=value_digest, signature=signature)
+            payload = ("precommit", view, value, proof, certificate)
+        else:
+            payload = ("decide", view, value, proof, signature)
+        for receiver in members:
+            self.send_raw(receiver, Envelope(("quad",), payload))
 
 
 def silent_factory(pid: int, simulation: Simulation) -> Process:

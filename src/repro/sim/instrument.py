@@ -1,0 +1,86 @@
+"""Lightweight coverage probes for the fuzzer (disabled unless collecting).
+
+The coverage-guided fuzzer (:mod:`repro.fuzz`) scores executions by which
+protocol decision points they reach and how close quorum thresholds came to
+tipping.  This module is the probe primitive: a single module-global sink
+(``SINK``) that call sites test inline::
+
+    from . import instrument
+    ...
+    if instrument.SINK is not None:
+        instrument.SINK.add(("quad.prepare", instrument.margin(len(votes), quorum)))
+
+When no collection is active ``SINK`` is ``None`` and a probe costs one
+attribute read plus a comparison — cheap enough to live on the simulator's
+per-event hot path without moving the benchmark regression gate.  Probes
+must be *read-only* observations of deterministic protocol state: they can
+never alter an execution, so instrumented and uninstrumented runs of the
+same ``(scenario, seed)`` stay byte-identical.
+
+This module is a leaf on purpose: it imports nothing from :mod:`repro`, so
+any layer (``sim``, ``consensus``, ``broadcast``) can probe without import
+cycles.  Collection is process-local (the fuzz worker wraps one run at a
+time), never nested, and reset in a ``finally`` so a crashed run cannot
+leave a stale sink armed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set, Tuple
+
+ProbeSite = Tuple[object, ...]
+
+SINK: Optional[Set[ProbeSite]] = None
+"""The active collection sink, or ``None`` when coverage is off.
+
+Call sites read this attribute directly (``instrument.SINK``) instead of
+going through a function so the disabled path stays a two-instruction guard.
+"""
+
+
+def margin(have: int, need: int) -> str:
+    """Bucket a quorum margin: how many more arrivals would cross ``need``.
+
+    ``met`` means the threshold is reached; ``m1``/``m2`` are one / two short
+    — the violation-proximity signal the fuzzer rewards (a quorum one vote
+    away from tipping marks an execution worth mutating further); anything
+    further out is just ``far`` so the coverage space stays small.
+    """
+    short = need - have
+    if short <= 0:
+        return "met"
+    if short <= 2:
+        return f"m{short}"
+    return "far"
+
+
+def bucket(value: int, cap: int = 8) -> int:
+    """Clamp an unbounded counter (round, view) into a small coverage bucket."""
+    return value if value < cap else cap
+
+
+def begin_collection() -> None:
+    """Install a fresh sink; subsequent probes record into it."""
+    global SINK
+    SINK = set()
+
+
+def end_collection() -> Set[ProbeSite]:
+    """Uninstall the sink and return everything collected (idempotent)."""
+    global SINK
+    sites, SINK = SINK, None
+    return sites if sites is not None else set()
+
+
+def active() -> bool:
+    return SINK is not None
+
+
+def canonical_coverage(sites: Set[ProbeSite]) -> Tuple[str, ...]:
+    """Render collected probe tuples as a sorted tuple of stable strings.
+
+    The canonical form is what gets scored, diffed and persisted in the
+    corpus table, so it must be deterministic across processes: plain
+    ``str`` on ints/strings only (probes are built from those).
+    """
+    return tuple(sorted(":".join(str(part) for part in site) for site in sites))

@@ -36,7 +36,11 @@ Shipped candidate models:
 * :class:`PartitionDelayModel` — two process groups do not hear from each
   other until a release time (the Lemma 2 partitioning argument);
 * :class:`JitteredDelayModel` — heavy-tailed (Pareto) jitter before GST,
-  modelling an unstable network that calms down at GST.
+  modelling an unstable network that calms down at GST;
+* :class:`StalledDelayModel` — traffic among non-favoured processes stalls
+  until a release time while the favoured (Byzantine) processes communicate
+  promptly in both directions — the scheduling behind the split-brain attack
+  at ``n <= 3t``.
 """
 
 from __future__ import annotations
@@ -202,6 +206,50 @@ class PartitionDelayModel(DelayModel):
         # GST: this is exactly the scheduling freedom the partitioning
         # argument exploits.
         return send_time + self.min_delay + self._rng.random() * (self.delta - self.min_delay)
+
+
+class StalledDelayModel(DelayModel):
+    """Stalls traffic among non-favoured processes until ``stall_until``.
+
+    The adversarial scheduling behind the split-brain attack on leader-based
+    consensus at ``n <= 3t``: messages between *non-favoured* processes
+    (typically the correct ones) are held back until ``stall_until``, while
+    any message with a favoured sender **or** receiver — the adversary's own
+    traffic in both directions — is delivered promptly.  A Byzantine leader
+    can therefore run private vote-collection conversations with disjoint
+    groups of correct processes faster than those groups can compare notes.
+
+    ``stall_until`` doubles as the GST, so the stall is exactly the pre-GST
+    scheduling freedom the partial-synchrony model grants: the base-class
+    clamp still bounds every correct-sender delivery by
+    ``max(send, gst) + delta``, and after ``stall_until`` the network behaves
+    like the default prompt model.
+    """
+
+    def __init__(
+        self,
+        favoured: set,
+        stall_until: float,
+        delta: float = 1.0,
+        min_delay: float = 0.1,
+        seed: int = 0,
+        schedule_hook: Optional[ScheduleHook] = None,
+    ):
+        self.favoured = frozenset(favoured)
+        self.stall_until = stall_until
+        super().__init__(
+            gst=stall_until,
+            delta=delta,
+            min_delay=min_delay,
+            seed=seed,
+            schedule_hook=schedule_hook,
+        )
+
+    def _candidate_delay(self, sender: int, receiver: int, send_time: float) -> float:
+        prompt = send_time + self.min_delay + self._rng.random() * (self.delta - self.min_delay)
+        if send_time >= self.stall_until or sender in self.favoured or receiver in self.favoured:
+            return prompt
+        return self.stall_until + self.min_delay + self._rng.random() * (self.delta - self.min_delay)
 
 
 class JitteredDelayModel(DelayModel):

@@ -23,6 +23,7 @@ from typing import Any, Callable, Dict, FrozenSet, Iterable, List, Optional, Set
 
 from ..core.system import SystemConfig
 from ..crypto.signatures import KeyAuthority
+from . import instrument
 from .events import Envelope, Event, MessageDelivery, TimerExpiry
 from .metrics import MetricsCollector
 from .network import DelayModel
@@ -156,6 +157,12 @@ class Simulation:
             protocol=envelope.path,
             sender_correct=sender_correct,
         )
+        if instrument.SINK is not None:
+            payload = envelope.payload
+            kind = payload[0] if type(payload) is tuple and payload else type(payload).__name__
+            instrument.SINK.add(
+                ("transmit", envelope.path[0] if envelope.path else "?", kind, sender_correct)
+            )
         # DelayModel.delivery_time is final and already enforces the
         # min_delay causality floor and the GST + delta contract.
         delivery_time = self.delay_model.delivery_time(sender, receiver, send_time, sender_correct)
@@ -185,6 +192,10 @@ class Simulation:
             if pid not in self.metrics.decisions:
                 self._decided_correct += 1
             self.metrics.record_decision(pid, self.time, value)
+            if instrument.SINK is not None:
+                instrument.SINK.add(
+                    ("decide", type(value).__name__, instrument.bucket(self._decided_correct))
+                )
 
     # ------------------------------------------------------------------
     # Execution

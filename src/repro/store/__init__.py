@@ -33,23 +33,36 @@ from .fingerprint import (
     code_fingerprint,
     payload_fingerprint,
     scenario_fingerprint,
+    spec_from_payload,
     spec_payload,
 )
 from .query import (
+    EmptySliceError,
     compare_with_reference,
     load_reference_summaries,
     render_markdown,
     render_table,
     summarize_store,
 )
-from .store import STORE_FORMAT_VERSION, RunStore, StoreFormatError, StoreStats, is_run_store
+from .store import (
+    STORE_FORMAT_VERSION,
+    CorpusRecord,
+    RunStore,
+    StoreFlushError,
+    StoreFormatError,
+    StoreStats,
+    is_run_store,
+)
 
 __all__ = [
     "ANALYSIS_PACKAGES",
     "FINGERPRINT_VERSION",
     "SEMANTIC_PACKAGES",
     "STORE_FORMAT_VERSION",
+    "CorpusRecord",
+    "EmptySliceError",
     "RunStore",
+    "StoreFlushError",
     "StoreFormatError",
     "StoreStats",
     "analysis_code_fingerprint",
@@ -62,6 +75,7 @@ __all__ = [
     "render_markdown",
     "render_table",
     "scenario_fingerprint",
+    "spec_from_payload",
     "spec_payload",
     "summarize_store",
 ]

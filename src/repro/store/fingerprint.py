@@ -97,6 +97,32 @@ def _digest(payload: Any) -> str:
     return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
 
+def spec_from_payload(payload: Mapping[str, Any]) -> ScenarioSpec:
+    """Rebuild a :class:`ScenarioSpec` from its :func:`spec_payload` form.
+
+    The inverse used by counterexample replay (``run --spec file.json``) and
+    the fuzz corpus: a spec whose param values are plain JSON scalars round-
+    trips exactly (``spec_from_payload(spec_payload(s)) == s``), which covers
+    every spec the registries and the fuzzer produce.  Exotic param values
+    were already reduced to ``repr`` strings by :func:`canonical_form`, so
+    they cannot round-trip — by construction no registered builder needs
+    them.
+    """
+    params = tuple(sorted((str(key), value) for key, value in payload.get("params", [])))
+    return ScenarioSpec(
+        name=payload["name"],
+        protocol=payload["protocol"],
+        adversary=payload["adversary"],
+        delay=payload["delay"],
+        n=int(payload["n"]),
+        t=int(payload["t"]),
+        property_key=payload["property_key"],
+        params=params,
+        time_limit=float(payload["time_limit"]),
+        max_events=int(payload["max_events"]),
+    )
+
+
 def scenario_fingerprint(spec: ScenarioSpec) -> str:
     """Stable content hash of one scenario specification."""
     return _digest({"fingerprint_version": FINGERPRINT_VERSION, "spec": spec_payload(spec)})

@@ -23,6 +23,17 @@ from ..experiments.aggregate import (
 from .store import RunStore, is_run_store
 
 
+class EmptySliceError(ValueError):
+    """A report/compare slice yielded no usable records.
+
+    Raised when a requested store slice is empty (or all-stale: every record
+    lives under another code fingerprint) — such a slice would summarize to
+    nothing and trivially pass any diff, so it must be a loud, distinct
+    condition the CLI can map to its own exit code rather than a silent
+    "no regressions".
+    """
+
+
 def summarize_store(
     store: RunStore,
     scenarios: Optional[Sequence[str]] = None,
@@ -120,11 +131,11 @@ def compare_with_reference(
     records all live under a *different* code fingerprint (e.g. one built at
     an earlier commit) would otherwise summarize to nothing and trivially
     report "no regressions" — so both sides must yield at least one
-    scenario, and ``ValueError`` names the empty one otherwise.
+    scenario, and :class:`EmptySliceError` names the empty one otherwise.
     """
     current = summarize_store(store, scenarios=scenarios, any_code=any_code)
     if not current:
-        raise ValueError(
+        raise EmptySliceError(
             f"store {store.path} has no records for the requested slice under the current "
             "code fingerprint; pass --any-code to read records from other code versions, "
             "or --rerun the sweep"
@@ -134,7 +145,7 @@ def compare_with_reference(
         wanted = set(scenarios)
         reference = {name: stored for name, stored in reference.items() if name in wanted}
     if not reference:
-        raise ValueError(
+        raise EmptySliceError(
             f"reference {reference_path} yields no scenarios to compare against (a reference "
             "store built by different code summarizes to nothing unless --any-code is given)"
         )

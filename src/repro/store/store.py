@@ -83,9 +83,73 @@ CREATE TABLE IF NOT EXISTS verdicts (
     PRIMARY KEY (task_fp, code_fp)
 );
 CREATE INDEX IF NOT EXISTS verdicts_by_label ON verdicts (label, code_fp);
+CREATE TABLE IF NOT EXISTS corpus (
+    entry_fp   TEXT    NOT NULL,
+    code_fp    TEXT    NOT NULL,
+    scenario   TEXT    NOT NULL,
+    seed       INTEGER NOT NULL,
+    novel      INTEGER NOT NULL,
+    violation  INTEGER NOT NULL,
+    score      INTEGER NOT NULL,
+    entry_json TEXT    NOT NULL,
+    PRIMARY KEY (entry_fp, code_fp)
+);
+CREATE INDEX IF NOT EXISTS corpus_by_scenario ON corpus (scenario, code_fp);
 """
 
 _Key = Tuple[str, int, str]
+
+
+@dataclass(frozen=True)
+class CorpusRecord:
+    """One fuzzer corpus entry: a mutated input worth keeping.
+
+    The record is pure data derived from the fuzz campaign's deterministic
+    walk: the mutated scenario (as its canonical payload), the run seed, the
+    mutation list that produced it, and the canonical coverage it exercised.
+    ``entry_fp`` content-addresses the ``(scenario payload, seed)`` pair
+    through :func:`~repro.store.fingerprint.payload_fingerprint`, so a warm
+    re-fuzz recognises an already-explored input and serves its coverage
+    (and its cached :class:`~repro.experiments.runner.RunResult` from the
+    ``runs`` table) without executing anything.
+
+    Defined here rather than in :mod:`repro.fuzz` so the store does not
+    import the fuzz engine (the engine imports the store).
+    """
+
+    entry_fp: str
+    scenario: str
+    seed: int
+    novel: bool
+    violation: bool
+    score: int
+    entry: Dict[str, Any]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "entry_fp": self.entry_fp,
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "novel": self.novel,
+            "violation": self.violation,
+            "score": self.score,
+            "entry": self.entry,
+        }
+
+    def canonical_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CorpusRecord":
+        return cls(
+            entry_fp=data["entry_fp"],
+            scenario=data["scenario"],
+            seed=data["seed"],
+            novel=bool(data["novel"]),
+            violation=bool(data["violation"]),
+            score=data["score"],
+            entry=data["entry"],
+        )
 
 
 @dataclass
@@ -104,6 +168,9 @@ class StoreStats:
     verdict_hits: int = 0
     verdict_misses: int = 0
     verdicts_stored: int = 0
+    corpus_hits: int = 0
+    corpus_misses: int = 0
+    corpus_stored: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -113,11 +180,24 @@ class StoreStats:
             "verdict_hits": self.verdict_hits,
             "verdict_misses": self.verdict_misses,
             "verdicts_stored": self.verdicts_stored,
+            "corpus_hits": self.corpus_hits,
+            "corpus_misses": self.corpus_misses,
+            "corpus_stored": self.corpus_stored,
         }
 
 
 class StoreFormatError(RuntimeError):
     """The file exists but is not a compatible run store."""
+
+
+class StoreFlushError(RuntimeError):
+    """The final flush on close failed; the pending records were NOT persisted.
+
+    The store stays open (the connection is kept) so the caller can retry
+    :meth:`RunStore.flush` or inspect :attr:`RunStore.pending_count` — a
+    close that silently dropped buffered results would let an interrupted
+    sweep masquerade as fully persisted.
+    """
 
 
 class RunStore:
@@ -154,6 +234,8 @@ class RunStore:
         self.stats = StoreStats()
         self._pending: Dict[_Key, Tuple[ScenarioSpec, RunResult]] = {}
         self._pending_verdicts: Dict[Tuple[str, str], Tuple[Any, Any]] = {}
+        self._pending_corpus: Dict[Tuple[str, str], CorpusRecord] = {}
+        self._corpus_cache: Dict[Tuple[str, str], CorpusRecord] = {}
         self._verdict_cache: Dict[Tuple[str, str], Any] = {}
         self._lru: "OrderedDict[_Key, RunResult]" = OrderedDict()
         self._fp_cache: Dict[ScenarioSpec, str] = {}
@@ -187,15 +269,32 @@ class RunStore:
                 f"store format_version {row[0]!r}, this code reads {STORE_FORMAT_VERSION!r}"
             )
 
+    @property
+    def pending_count(self) -> int:
+        """Buffered records (runs + verdicts + corpus entries) not yet committed."""
+        return len(self._pending) + len(self._pending_verdicts) + len(self._pending_corpus)
+
     def close(self) -> None:
-        """Flush pending writes and release the connection (idempotent)."""
-        conn, self._conn = self._conn, None
+        """Flush pending writes and release the connection (idempotent).
+
+        The store is only marked closed once the final flush has committed:
+        if the flush fails, a :class:`StoreFlushError` is raised, the
+        connection is kept, and the buffered records stay pending — the
+        caller can retry :meth:`flush` (or accept the loss explicitly) rather
+        than discovering much later that the tail of a sweep evaporated.
+        """
+        conn = self._conn
         if conn is None:
             return
         try:
             self._flush_into(conn)
-        finally:
-            conn.close()
+        except sqlite3.Error as exc:
+            raise StoreFlushError(
+                f"run store {self.path} failed to flush {self.pending_count} pending "
+                f"record(s) on close: {exc}"
+            ) from exc
+        self._conn = None
+        conn.close()
 
     def __enter__(self) -> "RunStore":
         return self
@@ -297,7 +396,7 @@ class RunStore:
         self._flush_into(self._connection())
 
     def _flush_into(self, conn: sqlite3.Connection) -> None:
-        if not self._pending and not self._pending_verdicts:
+        if not self._pending and not self._pending_verdicts and not self._pending_corpus:
             return
         if self._pending:
             rows = [
@@ -342,9 +441,30 @@ class RunStore:
                 "VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
                 verdict_rows,
             )
+        if self._pending_corpus:
+            corpus_rows = [
+                (
+                    key[0],
+                    key[1],
+                    record.scenario,
+                    record.seed,
+                    1 if record.novel else 0,
+                    1 if record.violation else 0,
+                    record.score,
+                    record.canonical_json(),
+                )
+                for key, record in self._pending_corpus.items()
+            ]
+            conn.executemany(
+                "INSERT OR REPLACE INTO corpus "
+                "(entry_fp, code_fp, scenario, seed, novel, violation, score, entry_json) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+                corpus_rows,
+            )
         conn.commit()
         self._pending.clear()
         self._pending_verdicts.clear()
+        self._pending_corpus.clear()
 
     # ------------------------------------------------------------------
     # Analysis verdicts (the ``analyze`` pipeline's cache)
@@ -423,6 +543,62 @@ class RunStore:
             return self._connection().execute("SELECT COUNT(*) FROM verdicts").fetchone()[0]
         return self._connection().execute(
             "SELECT COUNT(*) FROM verdicts WHERE code_fp=?", (self.analysis_code_fp,)
+        ).fetchone()[0]
+
+    # ------------------------------------------------------------------
+    # Fuzzer corpus (the ``fuzz`` campaign's persisted seed pool)
+    # ------------------------------------------------------------------
+    def get_corpus(self, entry_fp: str) -> Optional[CorpusRecord]:
+        """The corpus entry for a content fingerprint under the current code."""
+        key = (entry_fp, self.code_fp)
+        cached = self._corpus_cache.get(key)
+        if cached is not None:
+            self.stats.corpus_hits += 1
+            return cached
+        pending = self._pending_corpus.get(key)
+        if pending is not None:
+            self.stats.corpus_hits += 1
+            return pending
+        row = self._connection().execute(
+            "SELECT entry_json FROM corpus WHERE entry_fp=? AND code_fp=?", key
+        ).fetchone()
+        if row is None:
+            self.stats.corpus_misses += 1
+            return None
+        record = CorpusRecord.from_dict(json.loads(row[0]))
+        self._corpus_cache[key] = record
+        self.stats.corpus_hits += 1
+        return record
+
+    def put_corpus(self, record: CorpusRecord) -> None:
+        """Buffer one corpus entry for persistence (flushed with the run batch)."""
+        key = (record.entry_fp, self.code_fp)
+        self._pending_corpus[key] = record
+        self._corpus_cache[key] = record
+        self.stats.corpus_stored += 1
+        if self.pending_count >= self.batch_size:
+            self.flush()
+
+    def iter_corpus(self, scenario: Optional[str] = None) -> Iterator[CorpusRecord]:
+        """Stored corpus entries under the current code, in ``entry_fp`` order."""
+        self.flush()
+        if scenario is None:
+            cursor = self._connection().execute(
+                "SELECT entry_json FROM corpus WHERE code_fp=? ORDER BY entry_fp",
+                (self.code_fp,),
+            )
+        else:
+            cursor = self._connection().execute(
+                "SELECT entry_json FROM corpus WHERE code_fp=? AND scenario=? ORDER BY entry_fp",
+                (self.code_fp, scenario),
+            )
+        for (entry_json,) in cursor:
+            yield CorpusRecord.from_dict(json.loads(entry_json))
+
+    def count_corpus(self) -> int:
+        self.flush()
+        return self._connection().execute(
+            "SELECT COUNT(*) FROM corpus WHERE code_fp=?", (self.code_fp,)
         ).fetchone()[0]
 
     # ------------------------------------------------------------------
@@ -518,8 +694,9 @@ class RunStore:
     def vacuum_stale(self) -> int:
         """Delete records from other code fingerprints; returns rows removed.
 
-        Covers both tables, each against its own fingerprint: runs against
-        the run-semantics code, verdicts against the analysis code.
+        Covers every table, each against its own fingerprint: runs and the
+        fuzz corpus against the run-semantics code, verdicts against the
+        analysis code.
         """
         self.flush()
         conn = self._connection()
@@ -527,6 +704,7 @@ class RunStore:
         removed += conn.execute(
             "DELETE FROM verdicts WHERE code_fp != ?", (self.analysis_code_fp,)
         ).rowcount
+        removed += conn.execute("DELETE FROM corpus WHERE code_fp != ?", (self.code_fp,)).rowcount
         conn.commit()
         return removed
 

@@ -133,6 +133,34 @@ class TestRunner:
         assert results[0].decision_latency is None
         assert not results[0].ok
 
+    def test_timeout_is_authoritative_even_if_the_alarm_is_swallowed(self, monkeypatch):
+        # execute_run guards _RunTimeout through its own except clauses, but a
+        # protocol/checker bug could still wrap a broad ``except Exception``
+        # around the alarm and return a fabricated clean record after the
+        # deadline.  The deadline re-check must report the timeout anyway.
+        import time as time_module
+
+        from repro.experiments import runner as runner_module
+        from repro.experiments.runner import TIMEOUT_ERROR_PREFIX, _execute_with_timeout
+
+        spec = SWEEP[0]
+        fabricated = execute_run(spec, DEFAULT_SEED)
+        assert fabricated.ok
+
+        def swallowing_execute(spec_arg, seed_arg):
+            deadline = time_module.monotonic() + 0.3
+            while time_module.monotonic() < deadline:
+                try:
+                    time_module.sleep(0.02)
+                except Exception:
+                    pass  # the broad except that eats the alarm
+            return fabricated
+
+        monkeypatch.setattr(runner_module, "execute_run", swallowing_execute)
+        result = _execute_with_timeout((spec, DEFAULT_SEED, 0.05))
+        assert result.error is not None and result.error.startswith(TIMEOUT_ERROR_PREFIX)
+        assert result.agreement is None and not result.completed
+
 
 class TestAggregation:
     def test_summary_counts_and_determinism(self):

@@ -418,3 +418,92 @@ class TestRunnerLifecycle:
         results = runner.run(SWEEP[:1], (DEFAULT_SEED,))
         assert results and results[0].ok
         runner.close()
+
+
+# ----------------------------------------------------------------------
+# Fuzz corpus persistence
+# ----------------------------------------------------------------------
+class TestCorpus:
+    RECORD = None  # built lazily: CorpusRecord import stays local to the test
+
+    def _record(self, entry_fp="a" * 64, scenario="fuzz:binary+none+partition+n4t1"):
+        from repro.store import CorpusRecord
+
+        return CorpusRecord(
+            entry_fp=entry_fp,
+            scenario=scenario,
+            seed=DEFAULT_SEED,
+            novel=True,
+            violation=False,
+            score=3,
+            entry={"mutations": [["param", "gst", 5.0]], "coverage": ["site:a", "site:b"]},
+        )
+
+    def test_put_get_roundtrip_and_persistence(self, tmp_path):
+        db = tmp_path / "runs.db"
+        record = self._record()
+        with RunStore(db) as store:
+            assert store.get_corpus(record.entry_fp) is None
+            store.put_corpus(record)
+            assert store.get_corpus(record.entry_fp) == record  # pre-flush
+        with RunStore(db) as store:
+            assert store.get_corpus(record.entry_fp) == record  # from disk
+            assert store.count_corpus() == 1
+            assert list(store.iter_corpus()) == [record]
+            assert list(store.iter_corpus(scenario=record.scenario)) == [record]
+            assert list(store.iter_corpus(scenario="other")) == []
+            assert store.stats.corpus_hits == 1 and store.stats.corpus_misses == 0
+
+    def test_corpus_is_partitioned_by_code_fingerprint(self, tmp_path):
+        db = tmp_path / "runs.db"
+        record = self._record()
+        with RunStore(db, code_fp="older-code") as store:
+            store.put_corpus(record)
+        with RunStore(db) as store:
+            assert store.get_corpus(record.entry_fp) is None
+            assert store.count_corpus() == 0
+
+    def test_vacuum_stale_drops_stale_corpus_rows(self, tmp_path):
+        db = tmp_path / "runs.db"
+        with RunStore(db, code_fp="older-code") as store:
+            store.put_corpus(self._record(entry_fp="b" * 64))
+        with RunStore(db) as store:
+            store.put_corpus(self._record(entry_fp="c" * 64))
+            store.vacuum_stale()
+            assert store.count_corpus() == 1
+        with RunStore(db, code_fp="older-code") as store:
+            assert store.count_corpus() == 0
+
+
+# ----------------------------------------------------------------------
+# Close-time flush failures are surfaced, not swallowed
+# ----------------------------------------------------------------------
+class TestCloseFlushFailure:
+    def test_close_surfaces_flush_failure_and_stays_open(self, tmp_path):
+        from repro.store import StoreFlushError
+
+        db = tmp_path / "runs.db"
+        store = RunStore(db)
+        store.put(SWEEP[0], execute_run(SWEEP[0], DEFAULT_SEED))
+        assert store.pending_count == 1
+        # Sabotage the schema out from under the final flush.
+        store._conn.execute("ALTER TABLE runs RENAME TO runs_hidden")
+        with pytest.raises(StoreFlushError, match="failed to flush 1 pending"):
+            store.close()
+        # The store is NOT closed and the record is still pending: the caller
+        # owns the data and may repair and retry instead of losing the tail.
+        assert store.pending_count == 1
+        store._conn.execute("ALTER TABLE runs_hidden RENAME TO runs")
+        store.close()  # the retry flushes and really closes
+        with RunStore(db) as reopened:
+            assert reopened.get(SWEEP[0], DEFAULT_SEED) is not None
+
+    def test_clean_close_is_still_idempotent(self, tmp_path):
+        store = RunStore(tmp_path / "runs.db")
+        store.put(SWEEP[0], execute_run(SWEEP[0], DEFAULT_SEED))
+        store.close()
+        store.close()  # no error, no double flush
+        # The in-memory cache may still answer, but anything needing the
+        # connection reports the closed store instead of resurrecting it.
+        with pytest.raises(RuntimeError):
+            store.get(SWEEP[1], DEFAULT_SEED)

@@ -28,13 +28,20 @@ MATRIX = default_matrix()
 
 class TestRegistryComposition:
     def test_matrix_is_cartesian_product_plus_presets(self):
+        # Extension-registered keys (the fuzzer's attack surface) are
+        # resolvable by name but deliberately excluded from the cartesian
+        # defaults, so the committed baselines never grow by side effect.
+        from repro.experiments.scenario import EXTENSION_ADVERSARIES, EXTENSION_DELAY_MODELS
+
         presets = large_n_presets()
-        assert len(MATRIX) == len(PROTOCOLS) * len(ADVERSARIES) * len(DELAY_MODELS) + len(presets)
+        default_adversaries = set(ADVERSARIES) - EXTENSION_ADVERSARIES
+        default_delays = set(DELAY_MODELS) - EXTENSION_DELAY_MODELS
+        assert len(MATRIX) == len(PROTOCOLS) * len(default_adversaries) * len(default_delays) + len(presets)
         names = {spec.name for spec in MATRIX}
         assert len(names) == len(MATRIX)
         for protocol in PROTOCOLS:
-            for adversary in ADVERSARIES:
-                for delay in DELAY_MODELS:
+            for adversary in default_adversaries:
+                for delay in default_delays:
                     assert scenario_name(protocol, adversary, delay) in names
         for spec in presets:
             assert spec.name in names
@@ -66,9 +73,18 @@ class TestRegistryComposition:
         assert [spec.name for spec in find_scenarios(names)] == names
 
     def test_submatrix_selection(self):
+        from repro.experiments.scenario import EXTENSION_DELAY_MODELS
+
         sub = scenario_matrix(protocols=["binary"], adversaries=["silent"], delays=None)
-        assert len(sub) == len(DELAY_MODELS)
+        assert len(sub) == len(set(DELAY_MODELS) - EXTENSION_DELAY_MODELS)
         assert all(spec.protocol == "binary" and spec.adversary == "silent" for spec in sub)
+
+    def test_extension_keys_resolve_by_name_but_stay_out_of_defaults(self):
+        spec = make_scenario("quad", "splitbrain", "stalled")
+        assert spec.adversary == "splitbrain" and spec.delay == "stalled"
+        assert not any(
+            s.adversary == "splitbrain" or s.delay == "stalled" for s in MATRIX
+        )
 
     def test_specs_are_pure_data(self):
         import pickle

@@ -155,9 +155,13 @@ class TestReport:
         assert run_cli("report", "--store", str(tmp_path / "absent.db")) == 2
         assert "does not exist" in capsys.readouterr().err
 
-    def test_report_empty_slice_errors(self, populated, capsys):
-        assert run_cli("report", "--store", str(populated), "--protocol", "universal-compact") == 2
-        assert "no stored records" in capsys.readouterr().err
+    def test_report_empty_slice_exits_3(self, populated, capsys):
+        # Empty slice is its own exit code (3), distinct from configuration
+        # errors (2): CI can tell "nothing matched" from "you asked wrongly".
+        assert run_cli("report", "--store", str(populated), "--protocol", "universal-compact") == 3
+        err = capsys.readouterr().err
+        assert "no stored records" in err
+        assert len(err.strip().splitlines()) == 1
 
 
 class TestCompare:
@@ -217,8 +221,9 @@ class TestCompare:
 
     def test_stale_code_reference_store_is_an_error_not_a_pass(self, tmp_path, capsys):
         # A reference store whose records live under a different code
-        # fingerprint summarizes to nothing — compare must refuse (exit 2),
-        # never print "no regressions" against an empty reference.
+        # fingerprint summarizes to nothing — compare must refuse with the
+        # empty-slice exit code (3), never print "no regressions" against an
+        # empty reference.
         current = tmp_path / "current.db"
         stale = tmp_path / "stale.db"
         assert run_cli("run", *SLICE, "--seeds", "1", "--quiet", "--store", str(current)) == 0
@@ -226,11 +231,11 @@ class TestCompare:
         with RunStore(stale, code_fp="built-by-older-code") as store:
             store.put(spec, execute_run(spec, DEFAULT_SEED))
         capsys.readouterr()
-        assert run_cli("compare", "--store", str(current), "--against", str(stale)) == 2
+        assert run_cli("compare", "--store", str(current), "--against", str(stale)) == 3
         err = capsys.readouterr().err
         assert "no scenarios" in err and "--any-code" in err
         # Symmetrically: a measured store with only stale records errors too.
-        assert run_cli("compare", "--store", str(stale), "--against", str(current)) == 2
+        assert run_cli("compare", "--store", str(stale), "--against", str(current)) == 3
         assert "--any-code" in capsys.readouterr().err
 
 
@@ -253,3 +258,97 @@ class TestStoreFormatErrors:
         missing_dir = tmp_path / "no" / "such" / "dir" / "runs.db"
         assert run_cli("run", *SLICE, "--seeds", "1", "--quiet", "--store", str(missing_dir)) == 2
         assert "cannot open run store" in capsys.readouterr().err
+
+
+class TestArgumentValidation:
+    """--parallel/--timeout are validated at parse time across subcommands."""
+
+    @pytest.mark.parametrize("command", ["run", "analyze", "fuzz"])
+    @pytest.mark.parametrize("value", ["0", "-2"])
+    def test_non_positive_parallel_is_a_parse_error(self, command, value, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            run_cli(command, "--parallel", value)
+        assert excinfo.value.code == 2
+        assert "positive integer" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("command", ["run", "fuzz"])
+    @pytest.mark.parametrize("value", ["0", "-1.5"])
+    def test_non_positive_timeout_is_a_parse_error(self, command, value, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            run_cli(command, "--timeout", value)
+        assert excinfo.value.code == 2
+        assert "positive number" in capsys.readouterr().err
+
+    def test_garbage_parallel_is_a_parse_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            run_cli("run", "--parallel", "four")
+        assert excinfo.value.code == 2
+        assert "positive integer" in capsys.readouterr().err
+
+
+class TestSpecReplay:
+    """run --spec replays a serialized scenario (the fuzz counterexample path)."""
+
+    def test_replays_a_bare_spec_payload(self, tmp_path, capsys):
+        from repro.store.fingerprint import spec_payload
+
+        spec = make_scenario("binary", "silent", "synchronous")
+        spec_file = tmp_path / "spec.json"
+        spec_file.write_text(json.dumps(spec_payload(spec)))
+        assert run_cli("run", "--spec", str(spec_file)) == 0
+        out = capsys.readouterr().out
+        assert "1 runs over 1 scenarios x 1 seeds" in out
+        assert "binary+silent+synchronous" in out
+
+    def test_replays_a_counterexample_record_with_its_seed(self, tmp_path, capsys):
+        # The wrapped form the fuzzer emits: {"spec": ..., "seed": ...} — the
+        # recorded seed is the default, so the replay is the exact violating run.
+        from repro.store.fingerprint import spec_payload
+
+        spec = make_scenario(
+            "binary", "none", "partition", params={"release_time": 20_000.0}
+        )
+        record = {"spec": spec_payload(spec), "seed": DEFAULT_SEED + 3, "violations": []}
+        spec_file = tmp_path / "counterexample.json"
+        spec_file.write_text(json.dumps(record))
+        assert run_cli("run", "--spec", str(spec_file)) == 1
+        captured = capsys.readouterr()
+        assert f"seed={DEFAULT_SEED + 3}" in captured.err
+        assert "termination violated" in captured.err
+
+    def test_explicit_seeds_override_the_recorded_seed(self, tmp_path, capsys):
+        from repro.store.fingerprint import spec_payload
+
+        spec = make_scenario("binary", "silent", "synchronous")
+        record = {"spec": spec_payload(spec), "seed": 99}
+        spec_file = tmp_path / "spec.json"
+        spec_file.write_text(json.dumps(record))
+        assert run_cli("run", "--spec", str(spec_file), "--seeds", "2") == 0
+        assert "x 2 seeds" in capsys.readouterr().out
+
+    def test_roundtrips_through_spec_payload(self):
+        from repro.store.fingerprint import spec_from_payload, spec_payload
+
+        spec = make_scenario(
+            "quad", "equivocation", "partition", n=7, t=2,
+            params={"release_time": 50.0, "gst": 5.0},
+        )
+        assert spec_from_payload(spec_payload(spec)) == spec
+
+    @pytest.mark.parametrize(
+        "content, message",
+        [
+            ("not json", "not valid JSON"),
+            ("[1, 2]", "JSON object"),
+            ('{"name": "x"}', "missing or invalid"),
+        ],
+    )
+    def test_bad_spec_files_fail_cleanly(self, tmp_path, capsys, content, message):
+        spec_file = tmp_path / "bad.json"
+        spec_file.write_text(content)
+        assert run_cli("run", "--spec", str(spec_file)) == 2
+        assert message in capsys.readouterr().err
+
+    def test_missing_spec_file_fails_cleanly(self, tmp_path, capsys):
+        assert run_cli("run", "--spec", str(tmp_path / "nope.json")) == 2
+        assert "cannot read spec file" in capsys.readouterr().err
