@@ -9,6 +9,9 @@ function to the vector.  This example drives the experiment runner
 one per vector-consensus backend — the same workload throughout — and shows
 that every decision is admissible, and what each backend costs.
 
+Both sweeps share one :class:`~repro.jobs.session.ExecutionSession`, so the
+second reuses the first's warm worker pool instead of spawning its own.
+
 Run with:  python examples/consensus_variants.py
 """
 
@@ -17,7 +20,8 @@ import sys
 
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
 
-from repro.experiments import DEFAULT_SEED, Runner, make_scenario
+from repro.experiments import DEFAULT_SEED, make_scenario
+from repro.jobs import ExecutionSession
 
 PROPERTIES = ["strong", "weak", "correct-proposal", "median", "convex-hull", "interval"]
 BACKENDS = ["authenticated", "non-authenticated", "compact"]
@@ -43,29 +47,30 @@ def main() -> None:
         )
         for key in PROPERTIES
     ]
-    for report in Runner(parallel=3).run(variant_scenarios, seeds=(DEFAULT_SEED,)):
-        decision = report.decisions[0][1] if report.decisions else "<none>"
-        print(f"{report.scenario:18s} decided {decision:6}  admissible={report.validity_ok}  "
-              f"agreement={report.agreement}  messages={report.message_complexity}")
-    print()
+    with ExecutionSession(parallel=3) as session:
+        for report in session.runner.run(variant_scenarios, seeds=(DEFAULT_SEED,)):
+            decision = report.decisions[0][1] if report.decisions else "<none>"
+            print(f"{report.scenario:18s} decided {decision:6}  admissible={report.validity_ok}  "
+                  f"agreement={report.agreement}  messages={report.message_complexity}")
+        print()
 
-    print("=== The three vector-consensus backends (Strong Validity) ===")
-    print(f"{'backend':20s} {'messages':>9s} {'words':>9s} {'latency':>9s}")
-    backend_scenarios = [
-        make_scenario(
-            f"universal-{backend}",
-            adversary="silent",
-            delay="synchronous",
-            n=7,
-            t=2,
-            name=backend,
-            params={"proposals": PROPOSALS},
-        )
-        for backend in BACKENDS
-    ]
-    for report in Runner(parallel=3).run(backend_scenarios, seeds=(DEFAULT_SEED,)):
-        print(f"{report.scenario:20s} {report.message_complexity:9d} {report.communication_complexity:9d} "
-              f"{report.decision_latency:9.1f}")
+        print("=== The three vector-consensus backends (Strong Validity) ===")
+        print(f"{'backend':20s} {'messages':>9s} {'words':>9s} {'latency':>9s}")
+        backend_scenarios = [
+            make_scenario(
+                f"universal-{backend}",
+                adversary="silent",
+                delay="synchronous",
+                n=7,
+                t=2,
+                name=backend,
+                params={"proposals": PROPOSALS},
+            )
+            for backend in BACKENDS
+        ]
+        for report in session.runner.run(backend_scenarios, seeds=(DEFAULT_SEED,)):
+            print(f"{report.scenario:20s} {report.message_complexity:9d} {report.communication_complexity:9d} "
+                  f"{report.decision_latency:9.1f}")
     print()
     print("Algorithm 1 (authenticated) minimises messages; Algorithm 3 (non-authenticated)")
     print("avoids signatures at a polynomial message cost; Algorithm 6 (compact) trades")

@@ -94,8 +94,8 @@ def main() -> None:
     import tempfile
     import time
 
-    from repro.experiments import DEFAULT_SEED, Runner, aggregate, make_scenario, sweep_seeds
-    from repro.store import RunStore
+    from repro.experiments import DEFAULT_SEED, make_scenario, sweep_seeds
+    from repro.jobs import ExecutionSession, SweepJob, specs_to_payloads
 
     scenarios = [
         make_scenario("universal-authenticated", adversary=adversary, delay=delay)
@@ -103,32 +103,33 @@ def main() -> None:
         for delay in ("synchronous", "eventual", "partition", "jittered")
     ]
     seeds = sweep_seeds(3, base=DEFAULT_SEED)
+    job = SweepJob(specs_to_payloads(scenarios), seeds=tuple(seeds), collect_records=True)
 
     # Every run is a pure function of (scenario, seed, code), so results are
     # content-addressed: the first sweep executes and persists, an identical
-    # second sweep is served entirely from the store — 0 runs executed.
+    # second sweep is served entirely from the store — 0 runs executed.  The
+    # session owns the worker pool and the store connection; the job is pure
+    # data, so submitting the same spec twice is exactly a warm re-sweep.
     with tempfile.TemporaryDirectory() as tmp:
         store_path = pathlib.Path(tmp) / "runs.db"
-        with Runner(parallel=2) as runner:
-            with RunStore(store_path) as store:
-                started = time.perf_counter()
-                results = runner.run(scenarios, seeds, store=store)
-                cold_seconds = time.perf_counter() - started
-                cold_stats = store.stats
-            with RunStore(store_path) as store:  # reopen: a later process
-                started = time.perf_counter()
-                cached = runner.run(scenarios, seeds, store=store)
-                warm_seconds = time.perf_counter() - started
-                warm_stats = store.stats
+        with ExecutionSession(parallel=2, store_path=store_path) as session:
+            started = time.perf_counter()
+            cold = session.submit(job)
+            cold_seconds = time.perf_counter() - started
+        with ExecutionSession(parallel=2, store_path=store_path) as session:  # a later process
+            started = time.perf_counter()
+            warm = session.submit(job)
+            warm_seconds = time.perf_counter() - started
 
     print("=== Experiments (parallel sweep, deterministic per (scenario, seed)) ===")
-    for name, summary in sorted(aggregate(results).items()):
+    for name, summary in sorted(cold.summaries.items()):
         print(f"{name:45s} runs={summary.runs} ok={summary.ok} "
               f"msgs mean={summary.messages.mean:.1f} latency mean={summary.latency.mean:.1f}")
-    identical = [a.canonical_json() for a in results] == [b.canonical_json() for b in cached]
-    print(f"cold sweep: {len(results)} runs executed in {cold_seconds:.2f}s "
-          f"(hits={cold_stats.hits}, stored={cold_stats.stored})")
-    print(f"warm sweep: {warm_stats.hits} cache hits, 0 executed, {warm_seconds:.3f}s "
+    identical = [a.canonical_json() for a in cold.records] == [b.canonical_json() for b in warm.records]
+    print(f"cold sweep: {cold.run_count - cold.store_stats['hits']} runs executed in {cold_seconds:.2f}s "
+          f"(hits={cold.store_stats['hits']}, stored={cold.store_stats['stored']})")
+    print(f"warm sweep: {warm.store_stats['hits']} cache hits, "
+          f"{warm.run_count - warm.store_stats['hits']} executed, {warm_seconds:.3f}s "
           f"({cold_seconds / max(warm_seconds, 1e-9):.0f}x) — byte-identical: {identical}")
     print("full matrix: python -m repro.experiments --list "
           "(persist sweeps with: python -m repro.experiments run --store runs.db)")

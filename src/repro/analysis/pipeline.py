@@ -649,6 +649,7 @@ def run_analysis(
     runner: Optional[Any] = None,
     store: Optional[Any] = None,
     rerun: bool = False,
+    on_verdict: Optional[Any] = None,
 ) -> AnalysisRun:
     """Classify every task, through the runner's pool and the verdict cache.
 
@@ -658,10 +659,22 @@ def run_analysis(
     ``Runner.iter_runs``'s incremental sweeps: an identical re-analysis
     classifies zero properties.  ``rerun=True`` recomputes everything.
 
+    Without a ``runner``, a short-lived serial
+    :class:`~repro.jobs.session.ExecutionSession` supplies (and tears down)
+    one; callers with a pool pass their own runner, as the job executor
+    does.  ``on_verdict(index, verdict)`` is called in task order as each
+    verdict becomes available — the progress-event hook.
+
     The verdict sequence is deterministic in task order and byte-identical
     between serial and parallel runners (:func:`classify_task` is pure).
     """
-    from ..experiments.runner import Runner
+    if runner is None:
+        from ..jobs.session import ExecutionSession
+
+        with ExecutionSession() as session:
+            return run_analysis(
+                tasks, runner=session.runner, store=store, rerun=rerun, on_verdict=on_verdict
+            )
 
     task_list = dedupe_tasks(tasks)
     cached: Dict[int, AnalysisVerdict] = {}
@@ -674,20 +687,18 @@ def run_analysis(
     def persist(index: int, verdict: AnalysisVerdict) -> None:
         store.put_verdict(task_list[index], verdict)
 
-    own_runner = runner is None
-    active = Runner() if own_runner else runner
+    verdicts: List[AnalysisVerdict] = []
     try:
-        verdicts = list(
-            active.iter_tasks(
-                classify_task,
-                task_list,
-                cached=cached,
-                on_result=persist if store is not None else None,
-            )
-        )
+        for verdict in runner.iter_tasks(
+            classify_task,
+            task_list,
+            cached=cached,
+            on_result=persist if store is not None else None,
+        ):
+            verdicts.append(verdict)
+            if on_verdict is not None:
+                on_verdict(len(verdicts) - 1, verdict)
     finally:
-        if own_runner:
-            active.close()
         if store is not None:
             store.flush()
     return AnalysisRun(

@@ -1,0 +1,43 @@
+"""Shared CLI plumbing: failure rendering, slice arguments, default paths.
+
+Every command module renders configuration errors and empty slices through
+:func:`fail` / :func:`fail_empty`, so the ``error:`` / ``empty slice:``
+prefixes and the exit codes (from :mod:`repro.jobs.status`) are defined in
+exactly one place.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from ...jobs.status import EXIT_CONFIG, EXIT_EMPTY_SLICE
+from ..scenario import ADVERSARIES, DELAY_MODELS, PROTOCOLS
+
+DEFAULT_VERDICT_BASELINE = pathlib.Path("benchmarks/baselines/analysis_verdicts.json")
+"""The committed analysis-verdict baseline (``analyze --check-baseline`` default)."""
+
+DEFAULT_MATRIX_BASELINE = pathlib.Path("benchmarks/baselines/scenario_matrix.json")
+"""The committed scenario-matrix baseline the cross-check reads by default."""
+
+
+def fail(message: str) -> int:
+    """Render a configuration error; returns :data:`EXIT_CONFIG`."""
+    print(f"error: {message}", file=sys.stderr)
+    return EXIT_CONFIG
+
+
+def fail_empty(message: str) -> int:
+    """Render an empty report/compare slice; returns :data:`EXIT_EMPTY_SLICE`."""
+    print(f"empty slice: {message}", file=sys.stderr)
+    return EXIT_EMPTY_SLICE
+
+
+def add_slice_arguments(parser: argparse.ArgumentParser, with_scenario: bool = True) -> None:
+    """The matrix-slice selectors shared by ``run`` and ``report``."""
+    if with_scenario:
+        parser.add_argument("--scenario", nargs="+", default=None, help="explicit scenario names")
+    parser.add_argument("--protocol", nargs="+", default=None, choices=sorted(PROTOCOLS))
+    parser.add_argument("--adversary", nargs="+", default=None, choices=sorted(ADVERSARIES))
+    parser.add_argument("--delay", nargs="+", default=None, choices=sorted(DELAY_MODELS))

@@ -1,0 +1,57 @@
+"""The ``compare`` command: diff a store against a reference as a job."""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from ...jobs import CompareJob, ExecutionSession
+from ...jobs.status import EXIT_FAILURE, EXIT_OK, STATUS_NO_SOLUTION
+from ...store.store import StoreFormatError
+from .common import fail, fail_empty
+
+
+def add_parser(subparsers) -> None:
+    compare = subparsers.add_parser(
+        "compare", help="diff a store against another store or a JSON baseline"
+    )
+    compare.add_argument("--store", type=pathlib.Path, required=True, help="run store to measure")
+    compare.add_argument(
+        "--against",
+        type=pathlib.Path,
+        required=True,
+        help="reference: another run store (SQLite) or a baseline JSON file",
+    )
+    compare.add_argument("--scenario", nargs="+", default=None, help="restrict both sides to these scenarios")
+    compare.add_argument("--tolerance", type=float, default=0.2, help="relative complexity tolerance")
+    compare.add_argument(
+        "--any-code", action="store_true", help="include records from other code fingerprints"
+    )
+
+
+def command_compare(args: argparse.Namespace) -> int:
+    if not args.store.exists():
+        return fail(f"store {args.store} does not exist")
+    if not args.against.exists():
+        return fail(f"reference {args.against} does not exist")
+    job = CompareJob(
+        reference=str(args.against),
+        scenarios=tuple(args.scenario) if args.scenario else (),
+        tolerance=args.tolerance,
+        any_code=args.any_code,
+    )
+    try:
+        with ExecutionSession(store_path=args.store) as session:
+            outcome = session.submit(job)
+    except (ValueError, StoreFormatError) as exc:
+        return fail(str(exc))
+    if outcome.status == STATUS_NO_SOLUTION:
+        return fail_empty(outcome.message)
+    for regression in outcome.regressions:
+        print(f"  REGRESSION {regression}", file=sys.stderr)
+    if outcome.regressions:
+        print(f"{len(outcome.regressions)} regressions against {args.against}", file=sys.stderr)
+        return EXIT_FAILURE
+    print(f"{args.store} vs {args.against}: no regressions")
+    return EXIT_OK

@@ -1,0 +1,39 @@
+"""``--list``: enumerate the registered scenario matrix (text or JSON)."""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from ..scenario import ADVERSARIES, DELAY_MODELS, PROTOCOLS, ScenarioSpec, default_matrix
+
+
+def _scenario_record(spec: ScenarioSpec, fingerprint: str) -> Dict[str, Any]:
+    from ...store.fingerprint import spec_payload
+
+    record = spec_payload(spec)
+    record["params"] = dict(record["params"]) if record["params"] else {}
+    record["fingerprint"] = fingerprint
+    return record
+
+
+def command_list(as_json: bool) -> int:
+    matrix = default_matrix()
+    if as_json:
+        from ...store.fingerprint import FINGERPRINT_VERSION, code_fingerprint, scenario_fingerprint
+
+        payload = {
+            "fingerprint_version": FINGERPRINT_VERSION,
+            "code_fingerprint": code_fingerprint(),
+            "scenarios": [_scenario_record(spec, scenario_fingerprint(spec)) for spec in matrix],
+        }
+        print(json.dumps(payload, sort_keys=True, indent=2))
+        return 0
+    print(f"{len(matrix)} registered scenarios (protocol+adversary+delay):")
+    for spec in matrix:
+        print(f"  {spec.describe()}")
+    print(
+        f"registries: {len(PROTOCOLS)} protocols, {len(ADVERSARIES)} adversaries, "
+        f"{len(DELAY_MODELS)} delay models"
+    )
+    return 0

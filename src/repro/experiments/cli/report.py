@@ -1,0 +1,59 @@
+"""The ``report`` command: aggregate a stored slice into summary tables."""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+
+from ...jobs import ExecutionSession, ReportJob
+from ...jobs.status import EXIT_OK, STATUS_NO_SOLUTION
+from ...store.store import StoreFormatError
+from .common import add_slice_arguments, fail, fail_empty
+
+
+def add_parser(subparsers) -> None:
+    report = subparsers.add_parser("report", help="aggregate a stored slice into summary tables")
+    report.add_argument("--store", type=pathlib.Path, required=True, help="run store to read")
+    add_slice_arguments(report)
+    report.add_argument(
+        "--any-code",
+        action="store_true",
+        help="include records stored under other code fingerprints (default: current code only)",
+    )
+    report.add_argument("--markdown", type=pathlib.Path, default=None, help="write the table as markdown")
+    report.add_argument("--json-output", type=pathlib.Path, default=None, help="write the summaries as JSON")
+    report.add_argument("--quiet", action="store_true", help="do not print the table to stdout")
+
+
+def command_report(args: argparse.Namespace) -> int:
+    from ...store import render_markdown, render_table
+    from ..aggregate import summaries_to_json
+
+    if not args.store.exists():
+        return fail(f"store {args.store} does not exist")
+    job = ReportJob(
+        scenarios=tuple(args.scenario) if args.scenario else (),
+        protocols=tuple(args.protocol) if args.protocol else (),
+        adversaries=tuple(args.adversary) if args.adversary else (),
+        delays=tuple(args.delay) if args.delay else (),
+        any_code=args.any_code,
+    )
+    try:
+        with ExecutionSession(store_path=args.store) as session:
+            outcome = session.submit(job)
+    except StoreFormatError as exc:
+        return fail(str(exc))
+    if outcome.status == STATUS_NO_SOLUTION:
+        return fail_empty(outcome.message)
+    summaries = outcome.summaries
+    if not args.quiet:
+        print(render_table(summaries))
+        if outcome.stale and not args.any_code:
+            print(f"(+{outcome.stale} records under older code fingerprints; --any-code includes them)")
+    if args.markdown is not None:
+        args.markdown.write_text(render_markdown(summaries) + "\n")
+        print(f"wrote markdown report for {len(summaries)} scenarios to {args.markdown}")
+    if args.json_output is not None:
+        args.json_output.write_text(summaries_to_json(summaries) + "\n")
+        print(f"wrote JSON summaries for {len(summaries)} scenarios to {args.json_output}")
+    return EXIT_OK

@@ -1,0 +1,62 @@
+"""Shared argument validators for every ``repro.experiments`` subcommand.
+
+One definition each for the three numeric shapes the CLI accepts — worker
+counts, timeouts, seed lists — applied uniformly across ``run``,
+``analyze``, ``fuzz`` (``--budget`` included) and friends, so each flag
+rejects bad input with the same message everywhere.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List
+
+from ..runner import sweep_seeds
+
+
+def positive_int(raw: str) -> int:
+    """argparse type: a strictly positive integer (worker counts, budgets)."""
+    try:
+        value = int(raw)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a positive integer, got {raw!r}") from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"expected a positive integer, got {value}")
+    return value
+
+
+def positive_float(raw: str) -> float:
+    """argparse type: a strictly positive number (timeouts)."""
+    try:
+        value = float(raw)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a positive number, got {raw!r}") from None
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"expected a positive number, got {value}")
+    return value
+
+
+def parse_seeds(raw: str) -> List[int]:
+    """Parse ``--seeds``: a positive count, or a comma list of distinct ints."""
+    if "," in raw:
+        tokens = [token.strip() for token in raw.split(",") if token.strip()]
+        if not tokens:
+            raise ValueError(f"--seeds list {raw!r} contains no seeds")
+        try:
+            seeds = [int(token) for token in tokens]
+        except ValueError:
+            raise ValueError(f"--seeds list {raw!r} must contain only integers") from None
+        duplicates = sorted({seed for seed in seeds if seeds.count(seed) > 1})
+        if duplicates:
+            raise ValueError(
+                f"--seeds list {raw!r} repeats {duplicates}: every (scenario, seed) pair is "
+                "deterministic, so a repeated seed would just sweep the same runs twice"
+            )
+        return seeds
+    try:
+        count = int(raw)
+    except ValueError:
+        raise ValueError(f"--seeds expects a count or a comma list of integers, got {raw!r}") from None
+    if count < 1:
+        raise ValueError(f"--seeds count must be positive, got {count}")
+    return list(sweep_seeds(count))

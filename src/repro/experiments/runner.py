@@ -581,5 +581,7 @@ def run_matrix(
     timeout: Optional[float] = None,
 ) -> List[RunResult]:
     """Convenience wrapper: one call, one sweep, pool released on return."""
-    with Runner(parallel=parallel, timeout=timeout) as runner:
-        return runner.run(scenarios, seeds)
+    from ..jobs.session import ExecutionSession
+
+    with ExecutionSession(parallel=parallel, timeout=timeout) as session:
+        return session.runner.run(scenarios, seeds)

@@ -159,9 +159,22 @@ def run_fuzz(
         if not spec_is_fuzzable(spec):
             raise ValueError(f"base scenario {spec.name!r} is not a valid fuzz base")
 
-    own_runner = runner is None
     if runner is None:
-        runner = Runner(parallel=None, timeout=timeout)
+        # A short-lived serial session owns the fallback runner; callers
+        # with a pool (the job executor, the CLI session) pass their own.
+        from ..jobs.session import ExecutionSession
+
+        with ExecutionSession(timeout=timeout) as session:
+            return run_fuzz(
+                base_specs,
+                budget,
+                fuzz_seed,
+                store=store,
+                runner=session.runner,
+                base_seed=base_seed,
+                shrink=shrink,
+                log=log,
+            )
     effective_timeout = runner.timeout
 
     rng = random.Random(fuzz_seed)
@@ -192,143 +205,139 @@ def run_fuzz(
             return entry.base_index, stack + (mutation,)
         return rng.randrange(len(base_specs)), (mutation,)
 
-    try:
-        while report.candidates < budget and attempts < max_attempts:
-            batch: List[Tuple[int, Tuple[Mutation, ...], ScenarioSpec, int, str]] = []
-            while (
-                len(batch) < _BATCH_SIZE
-                and report.candidates + len(batch) < budget
-                and attempts < max_attempts
-            ):
-                attempts += 1
-                base_index, mutations = draw()
-                spec, seed = apply_mutations(base_specs[base_index], base_seed, mutations)
-                if not spec_is_fuzzable(spec):
-                    report.skipped_invalid += 1
+    while report.candidates < budget and attempts < max_attempts:
+        batch: List[Tuple[int, Tuple[Mutation, ...], ScenarioSpec, int, str]] = []
+        while (
+            len(batch) < _BATCH_SIZE
+            and report.candidates + len(batch) < budget
+            and attempts < max_attempts
+        ):
+            attempts += 1
+            base_index, mutations = draw()
+            spec, seed = apply_mutations(base_specs[base_index], base_seed, mutations)
+            if not spec_is_fuzzable(spec):
+                report.skipped_invalid += 1
+                continue
+            fp = entry_fingerprint(spec, seed)
+            if fp in seen_entries:
+                continue
+            seen_entries.add(fp)
+            batch.append((base_index, mutations, spec, seed, fp))
+        if not batch:
+            break
+        # Warm path: a candidate whose result AND coverage are already
+        # stored is served without touching a worker.
+        cached: Dict[int, Tuple[RunResult, Tuple[str, ...]]] = {}
+        if store is not None:
+            for position, (_bi, _muts, spec, seed, fp) in enumerate(batch):
+                record = store.get_corpus(fp)
+                if record is None:
                     continue
-                fp = entry_fingerprint(spec, seed)
-                if fp in seen_entries:
-                    continue
-                seen_entries.add(fp)
-                batch.append((base_index, mutations, spec, seed, fp))
-            if not batch:
-                break
-            # Warm path: a candidate whose result AND coverage are already
-            # stored is served without touching a worker.
-            cached: Dict[int, Tuple[RunResult, Tuple[str, ...]]] = {}
-            if store is not None:
-                for position, (_bi, _muts, spec, seed, fp) in enumerate(batch):
-                    record = store.get_corpus(fp)
-                    if record is None:
-                        continue
-                    result = store.get(spec, seed)
-                    if result is not None:
-                        cached[position] = (result, tuple(record.entry["coverage"]))
-            items = [(spec, seed, effective_timeout) for _bi, _muts, spec, seed, _fp in batch]
-            outcomes = list(runner.iter_tasks(fuzz_execute, items, cached=cached))
-            # Score strictly in candidate order: the pool and coverage map
-            # evolve identically no matter how execution was scheduled.
-            for position, ((base_index, mutations, spec, seed, fp), (result, cov)) in enumerate(
-                zip(batch, outcomes)
-            ):
-                was_cached = position in cached
-                report.candidates += 1
-                report.cached += 1 if was_cached else 0
-                report.executed += 0 if was_cached else 1
-                corpus_fps.append(fp)
-                new_sites = coverage.observe(cov)
-                is_violating = bool(result.violations)
-                if store is not None and not was_cached:
-                    if store.put(spec, result):  # timeouts are host conditions: skipped
-                        store.put_corpus(
-                            CorpusRecord(
-                                entry_fp=fp,
-                                scenario=spec.name,
-                                seed=seed,
-                                novel=new_sites > 0,
-                                violation=is_violating,
-                                score=new_sites,
-                                entry={
-                                    "base": base_specs[base_index].name,
-                                    "mutations": [list(m) for m in mutations],
-                                    "spec": spec_payload(spec),
-                                    "seed": seed,
-                                    "coverage": list(cov),
-                                    "violations": list(result.violations),
-                                },
-                            )
-                        )
-                if new_sites > 0:
-                    report.novel += 1
-                if is_violating:
-                    report.violating += 1
-                    raw_violations.append((base_index, mutations, spec, seed, result))
-                if new_sites > 0 or is_violating:
-                    pool.append(
-                        _PoolEntry(
-                            base_index,
-                            mutations,
-                            weight=1 + proximity_score(cov) + (4 if is_violating else 0),
+                result = store.get(spec, seed)
+                if result is not None:
+                    cached[position] = (result, tuple(record.entry["coverage"]))
+        items = [(spec, seed, effective_timeout) for _bi, _muts, spec, seed, _fp in batch]
+        outcomes = list(runner.iter_tasks(fuzz_execute, items, cached=cached))
+        # Score strictly in candidate order: the pool and coverage map
+        # evolve identically no matter how execution was scheduled.
+        for position, ((base_index, mutations, spec, seed, fp), (result, cov)) in enumerate(
+            zip(batch, outcomes)
+        ):
+            was_cached = position in cached
+            report.candidates += 1
+            report.cached += 1 if was_cached else 0
+            report.executed += 0 if was_cached else 1
+            corpus_fps.append(fp)
+            new_sites = coverage.observe(cov)
+            is_violating = bool(result.violations)
+            if store is not None and not was_cached:
+                if store.put(spec, result):  # timeouts are host conditions: skipped
+                    store.put_corpus(
+                        CorpusRecord(
+                            entry_fp=fp,
+                            scenario=spec.name,
+                            seed=seed,
+                            novel=new_sites > 0,
+                            violation=is_violating,
+                            score=new_sites,
+                            entry={
+                                "base": base_specs[base_index].name,
+                                "mutations": [list(m) for m in mutations],
+                                "spec": spec_payload(spec),
+                                "seed": seed,
+                                "coverage": list(cov),
+                                "violations": list(result.violations),
+                            },
                         )
                     )
-            if log is not None:
-                log(
-                    f"fuzz: {report.candidates}/{budget} candidates, "
-                    f"{len(coverage)} sites, {report.violating} violating, "
-                    f"pool {len(pool)}"
+            if new_sites > 0:
+                report.novel += 1
+            if is_violating:
+                report.violating += 1
+                raw_violations.append((base_index, mutations, spec, seed, result))
+            if new_sites > 0 or is_violating:
+                pool.append(
+                    _PoolEntry(
+                        base_index,
+                        mutations,
+                        weight=1 + proximity_score(cov) + (4 if is_violating else 0),
+                    )
                 )
-
-        report.pool_size = len(pool)
-        report.coverage_sites = len(coverage)
-        report.corpus_fingerprints = tuple(corpus_fps)
-
-        def evaluate(spec: ScenarioSpec, seed: int) -> RunResult:
-            if store is not None:
-                hit = store.get(spec, seed)
-                if hit is not None:
-                    return hit
-            result = _execute_with_timeout((spec, seed, effective_timeout))
-            report.executed += 1
-            if store is not None:
-                store.put(spec, result)
-            return result
-
-        # One shrink target per distinct (base, violation kinds) pair.
-        targets: "OrderedDict[Tuple[str, Tuple[str, ...]], Tuple[int, Tuple[Mutation, ...], ScenarioSpec, int, RunResult]]" = OrderedDict()
-        for base_index, mutations, spec, seed, result in raw_violations:
-            key = (base_specs[base_index].name, violation_kinds(result.violations))
-            if key not in targets:
-                targets[key] = (base_index, mutations, spec, seed, result)
-        for key, (base_index, mutations, spec, seed, result) in list(targets.items())[
-            :_MAX_SHRINK_TARGETS
-        ]:
-            kinds = violation_kinds(result.violations)
-            minimal = (
-                shrink_mutations(base_specs[base_index], base_seed, mutations, kinds, evaluate)
-                if shrink
-                else tuple(mutations)
+        if log is not None:
+            log(
+                f"fuzz: {report.candidates}/{budget} candidates, "
+                f"{len(coverage)} sites, {report.violating} violating, "
+                f"pool {len(pool)}"
             )
-            final_spec, final_seed = apply_mutations(base_specs[base_index], base_seed, minimal)
-            final_result = evaluate(final_spec, final_seed)
-            report.counterexamples.append(
-                {
-                    "entry_fp": entry_fingerprint(final_spec, final_seed),
-                    "base": base_specs[base_index].name,
-                    "scenario": final_spec.name,
-                    "seed": final_seed,
-                    "mutations": [list(m) for m in minimal],
-                    "violations": list(final_result.violations),
-                    "spec": spec_payload(final_spec),
-                }
-            )
-            if log is not None:
-                log(
-                    f"fuzz: shrunk {key[1]} on {key[0]} to "
-                    f"{len(minimal)} mutation(s)"
-                )
+
+    report.pool_size = len(pool)
+    report.coverage_sites = len(coverage)
+    report.corpus_fingerprints = tuple(corpus_fps)
+
+    def evaluate(spec: ScenarioSpec, seed: int) -> RunResult:
         if store is not None:
-            store.flush()
-        return report
-    finally:
-        if own_runner:
-            runner.close()
+            hit = store.get(spec, seed)
+            if hit is not None:
+                return hit
+        result = _execute_with_timeout((spec, seed, effective_timeout))
+        report.executed += 1
+        if store is not None:
+            store.put(spec, result)
+        return result
+
+    # One shrink target per distinct (base, violation kinds) pair.
+    targets: "OrderedDict[Tuple[str, Tuple[str, ...]], Tuple[int, Tuple[Mutation, ...], ScenarioSpec, int, RunResult]]" = OrderedDict()
+    for base_index, mutations, spec, seed, result in raw_violations:
+        key = (base_specs[base_index].name, violation_kinds(result.violations))
+        if key not in targets:
+            targets[key] = (base_index, mutations, spec, seed, result)
+    for key, (base_index, mutations, spec, seed, result) in list(targets.items())[
+        :_MAX_SHRINK_TARGETS
+    ]:
+        kinds = violation_kinds(result.violations)
+        minimal = (
+            shrink_mutations(base_specs[base_index], base_seed, mutations, kinds, evaluate)
+            if shrink
+            else tuple(mutations)
+        )
+        final_spec, final_seed = apply_mutations(base_specs[base_index], base_seed, minimal)
+        final_result = evaluate(final_spec, final_seed)
+        report.counterexamples.append(
+            {
+                "entry_fp": entry_fingerprint(final_spec, final_seed),
+                "base": base_specs[base_index].name,
+                "scenario": final_spec.name,
+                "seed": final_seed,
+                "mutations": [list(m) for m in minimal],
+                "violations": list(final_result.violations),
+                "spec": spec_payload(final_spec),
+            }
+        )
+        if log is not None:
+            log(
+                f"fuzz: shrunk {key[1]} on {key[0]} to "
+                f"{len(minimal)} mutation(s)"
+            )
+    if store is not None:
+        store.flush()
+    return report

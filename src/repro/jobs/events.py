@@ -1,0 +1,61 @@
+"""Structured progress events streamed out of a running job.
+
+Every :func:`~repro.jobs.executor.execute_job` call can be given an
+``on_event`` callback; it receives :class:`JobEvent` records — pure,
+immutable data — as the job moves through its lifecycle:
+
+* ``status`` events bracket the run: one per lifecycle transition
+  (``Initialized`` → ``Running`` → a terminal state from
+  :mod:`repro.jobs.status`);
+* ``progress`` events tick once per unit of work (a sweep run executed, a
+  property verdict produced) with ``completed``/``total`` counters;
+* ``log`` events carry the human-readable progress lines kernels already
+  emit (the fuzz engine's per-round summary), so a front end can relay
+  them verbatim — the CLI prints them, a future HTTP service would stream
+  them.
+
+Events are descriptive, never load-bearing: dropping them (``on_event=None``)
+changes nothing about the job's result, which keeps the executor's output a
+pure function of the job spec and the session's store contents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+EVENT_STATUS = "status"
+"""A lifecycle transition; :attr:`JobEvent.status` holds the new state."""
+
+EVENT_PROGRESS = "progress"
+"""One unit of work done; ``completed``/``total`` hold the counters."""
+
+EVENT_LOG = "log"
+"""A human-readable progress line from the underlying kernel."""
+
+
+@dataclass(frozen=True)
+class JobEvent:
+    """One observation of a running job (immutable, JSON-ready).
+
+    ``job`` is the job kind (``sweep``/``analyze``/``fuzz``/``report``/
+    ``compare``), ``kind`` one of the ``EVENT_*`` constants; the remaining
+    fields are populated per kind and ``None`` otherwise.
+    """
+
+    job: str
+    kind: str
+    status: Optional[str] = None
+    message: Optional[str] = None
+    completed: Optional[int] = None
+    total: Optional[int] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "job": self.job,
+            "kind": self.kind,
+            "status": self.status,
+            "message": self.message,
+            "completed": self.completed,
+            "total": self.total,
+        }

@@ -1,0 +1,378 @@
+"""The job executor: map each job spec onto the pure kernels it names.
+
+:func:`execute_job` is the single dispatch point between the declarative
+world (:mod:`repro.jobs.spec`) and the existing kernels — it walks a
+:class:`~repro.jobs.status.JobLifecycle` per submission, streams
+:class:`~repro.jobs.events.JobEvent` records to the caller, and returns a
+typed outcome whose ``status`` is a terminal state from
+:mod:`repro.jobs.status`:
+
+=============  =====================================================  ==================
+job            kernel(s)                                              outcome
+=============  =====================================================  ==================
+``sweep``      ``Runner.iter_runs`` + ``StreamingAggregator``         :class:`SweepOutcome`
+``analyze``    ``analysis.pipeline.run_analysis`` / cross-check       :class:`AnalyzeOutcome`
+``fuzz``       ``fuzz.engine.run_fuzz`` campaign loop                 :class:`FuzzOutcome`
+``report``     ``store.query.summarize_store``                        :class:`ReportOutcome`
+``compare``    ``store.query.compare_with_reference``                 :class:`CompareOutcome`
+=============  =====================================================  ==================
+
+The executor owns *policy*, not resources: pools and store connections come
+from the :class:`~repro.jobs.session.ExecutionSession` it is handed.  Store
+counters in each outcome are **deltas** over this job only (snapshotted
+around the kernel call), so a session reused across many jobs still reports
+per-job cache behaviour — "this sweep hit N, executed M" — no matter what
+ran before it.
+
+Semantics of the terminal status: ``Complete`` means the job did what was
+asked (a fuzz campaign that *found* violations still completed); ``Error``
+means the job's own outcome is a failure — failing runs in a sweep,
+theory/simulation divergences or an unreadable cross-check reference in an
+analyze, regressions in a compare; ``No Solution`` means the job had
+nothing to operate on (an empty or all-stale store slice).  Exceptions from
+kernels propagate to the caller after an ``Error`` status event.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from ..experiments.aggregate import ScenarioSummary, StreamingAggregator
+from ..experiments.runner import RunResult
+from .events import EVENT_LOG, EVENT_PROGRESS, EVENT_STATUS, JobEvent
+from .spec import (
+    AnalyzeJob,
+    CompareJob,
+    FuzzJob,
+    JobSpecError,
+    ReportJob,
+    SweepJob,
+    payloads_to_specs,
+)
+from .status import (
+    STATUS_COMPLETE,
+    STATUS_ERROR,
+    STATUS_NO_SOLUTION,
+    STATUS_RUNNING,
+    JobLifecycle,
+)
+
+_EventSink = Optional[Callable[[JobEvent], None]]
+
+
+# ----------------------------------------------------------------------
+# Typed outcomes (status + pure result data; rendering stays with callers)
+# ----------------------------------------------------------------------
+@dataclass
+class SweepOutcome:
+    """Result of a :class:`SweepJob`: aggregated summaries plus failures."""
+
+    status: str
+    run_count: int
+    scenario_count: int
+    seed_count: int
+    summaries: Dict[str, ScenarioSummary]
+    failures: List[RunResult]
+    records: Optional[List[RunResult]] = None
+    store_stats: Optional[Dict[str, int]] = None
+
+
+@dataclass
+class AnalyzeOutcome:
+    """Result of an :class:`AnalyzeJob`: verdicts plus the cross-check."""
+
+    status: str
+    verdicts: List[Any]
+    cached: int
+    classified: int
+    counts: Dict[str, int]
+    cross_check: Optional[Any] = None
+    cross_check_error: Optional[str] = None
+    store_stats: Optional[Dict[str, int]] = None
+
+
+@dataclass
+class FuzzOutcome:
+    """Result of a :class:`FuzzJob`: the campaign report."""
+
+    status: str
+    report: Any
+    store_stats: Optional[Dict[str, int]] = None
+
+
+@dataclass
+class ReportOutcome:
+    """Result of a :class:`ReportJob`: summaries of the stored slice."""
+
+    status: str
+    summaries: Dict[str, ScenarioSummary] = field(default_factory=dict)
+    stale: int = 0
+    message: Optional[str] = None
+
+
+@dataclass
+class CompareOutcome:
+    """Result of a :class:`CompareJob`: the regression list."""
+
+    status: str
+    regressions: List[str] = field(default_factory=list)
+    message: Optional[str] = None
+
+
+# ----------------------------------------------------------------------
+# Store-stat deltas: per-job counters on a shared session store
+# ----------------------------------------------------------------------
+def _stats_snapshot(store: Any) -> Optional[Dict[str, int]]:
+    return store.stats.as_dict() if store is not None else None
+
+
+def _stats_delta(store: Any, before: Optional[Dict[str, int]]) -> Optional[Dict[str, int]]:
+    if store is None or before is None:
+        return None
+    after = store.stats.as_dict()
+    return {key: after[key] - before[key] for key in after}
+
+
+def _require_store(session: Any, kind: str) -> Any:
+    store = session.store
+    if store is None:
+        raise JobSpecError(f"a {kind} job needs a session with a store (pass store_path)")
+    return store
+
+
+# ----------------------------------------------------------------------
+# Per-job handlers (resolve inputs first, then touch session resources)
+# ----------------------------------------------------------------------
+def _run_sweep(job: SweepJob, session: Any, emit: Callable[[JobEvent], None]) -> SweepOutcome:
+    scenarios = payloads_to_specs(job.scenario_payloads)
+    store = session.store
+    before = _stats_snapshot(store)
+    aggregator = StreamingAggregator()
+    failures: List[RunResult] = []
+    records: Optional[List[RunResult]] = [] if job.collect_records else None
+    total = len(scenarios) * len(job.seeds)
+    run_count = 0
+    for result in session.runner.iter_runs(
+        scenarios, list(job.seeds), store=store, rerun=job.rerun
+    ):
+        run_count += 1
+        aggregator.add(result)
+        if not result.ok:
+            failures.append(result)
+        if records is not None:
+            records.append(result)
+        emit(
+            JobEvent(
+                job=job.kind, kind=EVENT_PROGRESS, completed=run_count, total=total,
+                message=f"{result.scenario} seed={result.seed}",
+            )
+        )
+    return SweepOutcome(
+        status=STATUS_ERROR if failures else STATUS_COMPLETE,
+        run_count=run_count,
+        scenario_count=len(scenarios),
+        seed_count=len(job.seeds),
+        summaries=aggregator.summaries(),
+        failures=failures,
+        records=records,
+        store_stats=_stats_delta(store, before),
+    )
+
+
+def _run_analyze(job: AnalyzeJob, session: Any, emit: Callable[[JobEvent], None]) -> AnalyzeOutcome:
+    from ..analysis.pipeline import (
+        cross_check_matrix,
+        cross_check_tasks,
+        dedupe_tasks,
+        enumerated_tasks,
+        named_tasks,
+        run_analysis,
+        sampled_tasks,
+    )
+
+    tasks: List[Any] = []
+    if "named" in job.families:
+        tasks.extend(named_tasks())
+    if "enumerated" in job.families:
+        tasks.extend(enumerated_tasks())
+    if "sampled" in job.families:
+        tasks.extend(sampled_tasks())
+    if job.cross_check_reference is not None:
+        if not pathlib.Path(job.cross_check_reference).exists():
+            raise JobSpecError(
+                f"cross-check reference {job.cross_check_reference} does not exist "
+                "(pass --no-cross-check or point --cross-check-against at a store/baseline)"
+            )
+        tasks.extend(cross_check_tasks())
+    tasks = dedupe_tasks(tasks)
+    if not tasks:
+        raise JobSpecError("no property tasks selected")
+
+    store = session.store
+    before = _stats_snapshot(store)
+    total = len(tasks)
+
+    def on_verdict(index: int, verdict: Any) -> None:
+        emit(
+            JobEvent(
+                job=job.kind, kind=EVENT_PROGRESS, completed=index + 1, total=total,
+                message=verdict.label,
+            )
+        )
+
+    analysis = run_analysis(
+        tasks, runner=session.runner, store=store, rerun=job.rerun, on_verdict=on_verdict
+    )
+
+    cross_check = None
+    cross_check_error = None
+    if job.cross_check_reference is not None:
+        from ..store.query import load_reference_summaries
+
+        try:
+            reference = load_reference_summaries(job.cross_check_reference)
+        except (ValueError, FileNotFoundError) as exc:
+            cross_check_error = str(exc)
+        else:
+            cross_check = cross_check_matrix(analysis.by_label(), reference)
+
+    failed = cross_check_error is not None or bool(cross_check and cross_check.divergences)
+    return AnalyzeOutcome(
+        status=STATUS_ERROR if failed else STATUS_COMPLETE,
+        verdicts=analysis.verdicts,
+        cached=analysis.cached,
+        classified=analysis.classified,
+        counts=analysis.counts(),
+        cross_check=cross_check,
+        cross_check_error=cross_check_error,
+        store_stats=_stats_delta(store, before),
+    )
+
+
+def _run_fuzz(job: FuzzJob, session: Any, emit: Callable[[JobEvent], None]) -> FuzzOutcome:
+    from ..fuzz.engine import run_fuzz
+
+    bases = payloads_to_specs(job.base_payloads)
+    store = session.store
+    before = _stats_snapshot(store)
+
+    def log(message: str) -> None:
+        emit(JobEvent(job=job.kind, kind=EVENT_LOG, message=message))
+
+    report = run_fuzz(
+        bases,
+        job.budget,
+        job.fuzz_seed,
+        store=store,
+        runner=session.runner,
+        base_seed=job.base_seed,
+        shrink=job.shrink,
+        log=log,
+    )
+    return FuzzOutcome(
+        status=STATUS_COMPLETE,
+        report=report,
+        store_stats=_stats_delta(store, before),
+    )
+
+
+def _run_report(job: ReportJob, session: Any, emit: Callable[[JobEvent], None]) -> ReportOutcome:
+    # Lazy: repro.store's own __init__ imports the query layer, which uses
+    # the jobs status constants — a top-level import here would be circular.
+    from ..store.query import summarize_store
+
+    store = _require_store(session, job.kind)
+    summaries = summarize_store(
+        store,
+        scenarios=job.scenarios or None,
+        protocols=job.protocols or None,
+        adversaries=job.adversaries or None,
+        delays=job.delays or None,
+        any_code=job.any_code,
+    )
+    stale = sum(count for code_fp, count in store.code_fingerprints() if code_fp != store.code_fp)
+    if not summaries:
+        hint = (
+            " (records exist under other code fingerprints; pass --any-code or --rerun the sweep)"
+            if stale and not job.any_code
+            else ""
+        )
+        return ReportOutcome(
+            status=STATUS_NO_SOLUTION,
+            stale=stale,
+            message=f"no stored records match the requested slice{hint}",
+        )
+    return ReportOutcome(status=STATUS_COMPLETE, summaries=summaries, stale=stale)
+
+
+def _run_compare(job: CompareJob, session: Any, emit: Callable[[JobEvent], None]) -> CompareOutcome:
+    from ..store.query import EmptySliceError, compare_with_reference
+
+    store = _require_store(session, job.kind)
+    try:
+        regressions = compare_with_reference(
+            store,
+            job.reference,
+            relative_tolerance=job.tolerance,
+            scenarios=list(job.scenarios) if job.scenarios else None,
+            any_code=job.any_code,
+        )
+    except EmptySliceError as exc:
+        return CompareOutcome(status=STATUS_NO_SOLUTION, message=str(exc))
+    return CompareOutcome(
+        status=STATUS_ERROR if regressions else STATUS_COMPLETE,
+        regressions=regressions,
+    )
+
+
+_HANDLERS: Dict[str, Callable[..., Any]] = {
+    SweepJob.kind: _run_sweep,
+    AnalyzeJob.kind: _run_analyze,
+    FuzzJob.kind: _run_fuzz,
+    ReportJob.kind: _run_report,
+    CompareJob.kind: _run_compare,
+}
+
+
+def execute_job(job: Any, session: Any, on_event: _EventSink = None) -> Any:
+    """Run one job through a session; returns its typed outcome.
+
+    Walks the status lifecycle (``Initialized`` → ``Running`` → terminal),
+    emitting a ``status`` event at every transition plus the handler's own
+    ``progress``/``log`` events.  An unknown job type dies in
+    ``Initialized → Error``; a kernel exception transitions to ``Error``
+    and then propagates unchanged, so callers keep the original error while
+    the event stream still records how the job ended.
+    """
+    kind = getattr(type(job), "kind", type(job).__name__)
+    lifecycle = JobLifecycle()
+
+    def emit(event: JobEvent) -> None:
+        if on_event is not None:
+            on_event(event)
+
+    def emit_status() -> None:
+        emit(JobEvent(job=kind, kind=EVENT_STATUS, status=lifecycle.status))
+
+    emit_status()
+    handler = _HANDLERS.get(kind)
+    if handler is None:
+        lifecycle.transition(STATUS_ERROR)
+        emit_status()
+        raise JobSpecError(
+            f"cannot execute {type(job).__name__!r}: not a known job type "
+            f"(kinds: {sorted(_HANDLERS)})"
+        )
+    lifecycle.transition(STATUS_RUNNING)
+    emit_status()
+    try:
+        outcome = handler(job, session, emit)
+    except BaseException:
+        lifecycle.transition(STATUS_ERROR)
+        emit_status()
+        raise
+    lifecycle.transition(outcome.status)
+    emit_status()
+    return outcome

@@ -1,0 +1,178 @@
+"""The execution session: single owner of the pool and the store connection.
+
+Everything stateful about running jobs lives here.  An
+:class:`ExecutionSession` owns at most one persistent
+:class:`~repro.experiments.runner.Runner` (and therefore one worker pool)
+and at most one :class:`~repro.store.store.RunStore` connection, both
+created lazily on first use and torn down exactly once — the session is the
+only place in the library that constructs either.  Jobs are pure data
+(:mod:`repro.jobs.spec`); kernels are pure functions; the session is the
+process-ownership boundary between them, which is what lets many jobs share
+one warm pool and one store connection::
+
+    with ExecutionSession(parallel=4, store_path="runs.db") as session:
+        sweep = session.submit(SweepJob(...))      # cold: executes + persists
+        sweep = session.submit(SweepJob(...))      # warm: 0 runs executed
+        verdicts = session.submit(AnalyzeJob(...)) # same pool, same store
+
+Teardown guarantees (the fair-termination discipline): :meth:`close` always
+terminates the worker pool first — even when the store flush is about to
+fail — then closes the store, which flushes its buffered records or raises
+:class:`~repro.store.store.StoreFlushError` *while keeping the connection*
+so the caller can retry (``close()`` again) or inspect what was lost.  A
+closed session refuses new work instead of silently reopening resources.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Any, Callable, Optional, Union
+
+from ..experiments.runner import Runner
+from ..store.store import RunStore
+
+
+def open_run_store(path: Union[str, pathlib.Path], **options: Any) -> RunStore:
+    """Open a standalone :class:`RunStore` (a context manager; close it).
+
+    The construction funnel for store connections that are *not* the
+    session's own — the reference side of a compare, a cross-check source.
+    Sessions and this helper are the only places a store is constructed, so
+    "who owns this connection" is always answerable.
+    """
+    return RunStore(path, **options)
+
+
+class SessionClosedError(RuntimeError):
+    """The session was closed; it no longer accepts jobs or owns resources."""
+
+
+class ExecutionSession:
+    """Context-managed owner of one runner pool and one store connection.
+
+    Args:
+        parallel: Worker processes for the runner (``None`` = serial).
+        timeout: Per-run wall-clock timeout in seconds.
+        store_path: Optional persistent run store backing every job; jobs
+            see cache hits from (and persist misses into) this one
+            connection.  ``None`` runs storeless.
+        start_method: Optional ``multiprocessing`` start method override.
+        store_options: Extra :class:`RunStore` keyword arguments
+            (``batch_size``, ``code_fp``, ... — the testing escape hatches).
+
+    Both resources are lazy: a session that only runs :class:`ReportJob`\\ s
+    never spawns a pool, and a storeless sweep never touches SQLite.  A
+    failed store open (:class:`~repro.store.store.StoreFormatError`)
+    propagates to the caller with the runner still in a clean state.
+    """
+
+    def __init__(
+        self,
+        parallel: Optional[int] = None,
+        timeout: Optional[float] = None,
+        store_path: Optional[Union[str, pathlib.Path]] = None,
+        start_method: Optional[str] = None,
+        store_options: Optional[dict] = None,
+    ):
+        self.parallel = parallel
+        self.timeout = timeout
+        self.store_path = pathlib.Path(store_path) if store_path is not None else None
+        self.start_method = start_method
+        self._store_options = dict(store_options) if store_options else {}
+        self._runner: Optional[Runner] = None
+        self._store: Optional[RunStore] = None
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Resource ownership (lazy, single-instance)
+    # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def has_store(self) -> bool:
+        """Whether this session is backed by a persistent store."""
+        return self.store_path is not None
+
+    @property
+    def runner(self) -> Runner:
+        """The session's runner (created on first access, then reused)."""
+        self._check_open()
+        if self._runner is None:
+            self._runner = Runner(
+                parallel=self.parallel,
+                timeout=self.timeout,
+                start_method=self.start_method,
+            )
+        return self._runner
+
+    @property
+    def store(self) -> Optional[RunStore]:
+        """The session's store connection, or ``None`` when storeless.
+
+        Opened on first access; a :class:`StoreFormatError` from a corrupt
+        or incompatible file propagates and leaves the session usable (a
+        later access retries the open).
+        """
+        self._check_open()
+        if self._store is None and self.store_path is not None:
+            self._store = RunStore(self.store_path, **self._store_options)
+        return self._store
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise SessionClosedError(
+                "execution session is closed; create a new session to run more jobs"
+            )
+
+    # ------------------------------------------------------------------
+    # Job submission
+    # ------------------------------------------------------------------
+    def submit(self, job: Any, on_event: Optional[Callable[[Any], None]] = None) -> Any:
+        """Run one job spec through this session's resources.
+
+        Dispatches on the job's type (see :mod:`repro.jobs.spec`), streams
+        :class:`~repro.jobs.events.JobEvent` records to ``on_event`` while
+        running, and returns the job type's outcome record with a terminal
+        status from :mod:`repro.jobs.status`.  Kernel exceptions propagate
+        after an ``Error`` status event; the session itself stays usable.
+        """
+        self._check_open()
+        from .executor import execute_job
+
+        return execute_job(job, self, on_event=on_event)
+
+    # ------------------------------------------------------------------
+    # Teardown
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release both resources; guaranteed pool termination first.
+
+        The runner's pool is always terminated, even when the store flush is
+        about to fail — a worker pool must never outlive its session.  Then
+        the store is closed, which flushes buffered records or raises
+        :class:`~repro.store.store.StoreFlushError`; on flush failure the
+        store reference is *kept* (and the session stays marked closed), so
+        calling :meth:`close` again retries the flush rather than dropping
+        the pending records on the floor.
+        """
+        self._closed = True
+        runner, self._runner = self._runner, None
+        if runner is not None:
+            runner.close()
+        if self._store is not None:
+            self._store.close()  # may raise StoreFlushError; reference kept
+            self._store = None
+
+    def __enter__(self) -> "ExecutionSession":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - interpreter shutdown is untestable
+        try:
+            self.close()
+        except Exception:
+            pass

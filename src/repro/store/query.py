@@ -20,6 +20,7 @@ from ..experiments.aggregate import (
     load_baseline,
     summaries_to_payload,
 )
+from ..jobs.status import summary_status
 from .store import RunStore, is_run_store
 
 
@@ -59,7 +60,7 @@ def summarize_store(
 _COLUMNS = (
     ("scenario", lambda s: s.scenario),
     ("runs", lambda s: str(s.runs)),
-    ("status", lambda s: "ok" if s.ok else "FAIL"),
+    ("status", lambda s: summary_status(s.ok)),
     ("errors", lambda s: str(s.errors)),
     ("incomplete", lambda s: str(s.incomplete)),
     ("agree-viol", lambda s: str(s.agreement_violations)),
@@ -109,7 +110,9 @@ def load_reference_summaries(
     if not path.exists():
         raise FileNotFoundError(f"reference {path} does not exist")
     if is_run_store(path):
-        with RunStore(path) as reference:
+        from ..jobs.session import open_run_store
+
+        with open_run_store(path) as reference:
             return summaries_to_payload(summarize_store(reference, any_code=any_code))["scenarios"]
     return load_baseline(path)
 

@@ -1,0 +1,335 @@
+"""The job/session layer: specs, lifecycle, session ownership, teardown.
+
+Covers the contracts the architecture hangs on: the lifecycle state machine
+rejects illegal transitions; every job type round-trips through its wire
+payload; one session runs sweep → analyze → fuzz on a single pool and store
+(and a warm second submit executes nothing); and teardown is exception-safe
+— the pool dies and the store flushes even when a job blows up mid-flight
+or a streaming generator is abandoned.
+"""
+
+import pickle
+
+import pytest
+
+from repro.experiments import DEFAULT_SEED, make_scenario
+from repro.jobs import (
+    AnalyzeJob,
+    CompareJob,
+    EVENT_LOG,
+    EVENT_PROGRESS,
+    EVENT_STATUS,
+    ExecutionSession,
+    FuzzJob,
+    JobLifecycle,
+    JobSpecError,
+    JobStatusError,
+    ReportJob,
+    SessionClosedError,
+    STATUS_COMPLETE,
+    STATUS_ERROR,
+    STATUS_INITIALIZED,
+    STATUS_NO_SOLUTION,
+    STATUS_RUNNING,
+    SweepJob,
+    exit_code_for,
+    job_from_payload,
+    open_run_store,
+    resolve_fuzz_bases,
+    select_scenarios,
+    specs_to_payloads,
+    summary_status,
+)
+from repro.store import RunStore
+from repro.store.store import StoreFlushError
+
+SLICE = ["binary+silent+synchronous", "quad+silent+synchronous"]
+
+
+def slice_payloads():
+    return specs_to_payloads(select_scenarios(SLICE))
+
+
+# ----------------------------------------------------------------------
+# Lifecycle state machine
+# ----------------------------------------------------------------------
+class TestLifecycle:
+    def test_happy_path(self):
+        lifecycle = JobLifecycle()
+        assert lifecycle.status == STATUS_INITIALIZED
+        assert not lifecycle.terminal
+        lifecycle.transition(STATUS_RUNNING)
+        lifecycle.transition(STATUS_COMPLETE)
+        assert lifecycle.terminal
+
+    @pytest.mark.parametrize("terminal", [STATUS_COMPLETE, STATUS_ERROR, STATUS_NO_SOLUTION])
+    def test_terminal_states_are_frozen(self, terminal):
+        lifecycle = JobLifecycle()
+        lifecycle.transition(STATUS_RUNNING)
+        lifecycle.transition(terminal)
+        for target in (STATUS_INITIALIZED, STATUS_RUNNING, STATUS_COMPLETE, STATUS_ERROR):
+            with pytest.raises(JobStatusError):
+                lifecycle.transition(target)
+
+    def test_cannot_complete_without_running(self):
+        with pytest.raises(JobStatusError):
+            JobLifecycle().transition(STATUS_COMPLETE)
+
+    def test_cannot_skip_to_no_solution(self):
+        with pytest.raises(JobStatusError):
+            JobLifecycle().transition(STATUS_NO_SOLUTION)
+
+    def test_unknown_status_rejected(self):
+        lifecycle = JobLifecycle()
+        with pytest.raises(JobStatusError):
+            lifecycle.transition("Paused")
+
+    def test_exit_codes(self):
+        assert exit_code_for(STATUS_COMPLETE) == 0
+        assert exit_code_for(STATUS_ERROR) == 1
+        assert exit_code_for(STATUS_NO_SOLUTION) == 3
+        with pytest.raises(JobStatusError):
+            exit_code_for(STATUS_RUNNING)
+
+    def test_summary_status_strings(self):
+        assert summary_status(True) == "ok"
+        assert summary_status(False) == "FAIL"
+
+
+# ----------------------------------------------------------------------
+# Spec round-trips: payload() → job_from_payload → identical spec
+# ----------------------------------------------------------------------
+class TestSpecRoundTrip:
+    def jobs(self, tmp_path):
+        return [
+            SweepJob(slice_payloads(), seeds=(7, 8), rerun=True, collect_records=True),
+            AnalyzeJob(families=("named", "sampled"), cross_check_reference="ref.json"),
+            FuzzJob(
+                specs_to_payloads(resolve_fuzz_bases(["binary+none+partition"])),
+                budget=9,
+                fuzz_seed=3,
+                shrink=False,
+            ),
+            ReportJob(scenarios=("a", "b"), protocols=("binary",), any_code=True),
+            CompareJob(reference=str(tmp_path / "base.json"), scenarios=("a",), tolerance=0.5),
+        ]
+
+    def test_every_job_type_round_trips(self, tmp_path):
+        for job in self.jobs(tmp_path):
+            rebuilt = job_from_payload(job.payload())
+            assert rebuilt == job
+            assert rebuilt.fingerprint() == job.fingerprint()
+
+    def test_fingerprints_are_distinct_and_content_addressed(self, tmp_path):
+        fingerprints = {job.fingerprint() for job in self.jobs(tmp_path)}
+        assert len(fingerprints) == len(self.jobs(tmp_path))
+        assert SweepJob(slice_payloads()).fingerprint() == SweepJob(slice_payloads()).fingerprint()
+        assert (
+            SweepJob(slice_payloads()).fingerprint()
+            != SweepJob(slice_payloads(), seeds=(5,)).fingerprint()
+        )
+
+    def test_jobs_are_picklable(self, tmp_path):
+        for job in self.jobs(tmp_path):
+            assert pickle.loads(pickle.dumps(job)) == job
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(JobSpecError, match="unknown job kind"):
+            job_from_payload({"kind": "teleport"})
+
+    def test_missing_fields_rejected(self):
+        with pytest.raises(JobSpecError, match="missing or invalid"):
+            job_from_payload({"kind": "sweep"})
+
+    def test_invalid_specs_die_at_construction(self):
+        with pytest.raises(JobSpecError, match="no scenarios"):
+            SweepJob(())
+        with pytest.raises(JobSpecError, match="repeats"):
+            SweepJob(slice_payloads(), seeds=(5, 5))
+        with pytest.raises(JobSpecError, match="at least 1"):
+            FuzzJob(slice_payloads(), budget=0)
+        with pytest.raises(JobSpecError, match="unknown property families"):
+            AnalyzeJob(families=("named", "imagined"))
+        with pytest.raises(JobSpecError, match="reference"):
+            CompareJob(reference="")
+
+    def test_unknown_fuzz_base_rejected(self):
+        with pytest.raises(JobSpecError, match="unknown fuzz base"):
+            resolve_fuzz_bases(["not-a-base"])
+
+
+# ----------------------------------------------------------------------
+# Session reuse: one pool + one store across sweep → analyze → fuzz
+# ----------------------------------------------------------------------
+class TestSessionReuse:
+    def test_sweep_analyze_fuzz_share_resources(self, tmp_path):
+        store_path = tmp_path / "runs.db"
+        events = []
+        with ExecutionSession(parallel=2, store_path=store_path) as session:
+            sweep = session.submit(
+                SweepJob(slice_payloads(), seeds=(DEFAULT_SEED,)), on_event=events.append
+            )
+            runner = session._runner
+            store = session._store
+            assert runner is not None and store is not None
+
+            analyze = session.submit(AnalyzeJob(families=("named",)))
+            fuzz = session.submit(
+                FuzzJob(specs_to_payloads(resolve_fuzz_bases(["binary+none+partition"])), budget=6)
+            )
+            # One pool, one connection, across all three job types.
+            assert session._runner is runner
+            assert session._store is store
+
+        assert sweep.status == STATUS_COMPLETE
+        assert sweep.run_count == len(SLICE)
+        assert not sweep.failures
+        assert sweep.store_stats["stored"] == len(SLICE)
+        assert analyze.status == STATUS_COMPLETE
+        assert analyze.counts["total"] == len(analyze.verdicts)
+        assert fuzz.status == STATUS_COMPLETE
+        assert fuzz.report.candidates == 6
+
+        statuses = [e.status for e in events if e.kind == EVENT_STATUS]
+        assert statuses == [STATUS_INITIALIZED, STATUS_RUNNING, STATUS_COMPLETE]
+        progress = [e for e in events if e.kind == EVENT_PROGRESS]
+        assert [e.completed for e in progress] == [1, 2]
+        assert all(e.total == len(SLICE) for e in progress)
+
+    def test_warm_second_submit_executes_nothing(self, tmp_path):
+        store_path = tmp_path / "runs.db"
+        job = SweepJob(slice_payloads(), seeds=(DEFAULT_SEED, DEFAULT_SEED + 1))
+        with ExecutionSession(store_path=store_path) as session:
+            cold = session.submit(job)
+            warm = session.submit(job)
+        assert cold.store_stats["hits"] == 0
+        assert cold.store_stats["stored"] == cold.run_count
+        # Store counters are per-job deltas, so the warm submit proves itself.
+        assert warm.store_stats["hits"] == warm.run_count
+        assert warm.store_stats["misses"] == 0
+        assert warm.store_stats["stored"] == 0
+
+    def test_storeless_session_has_no_store(self):
+        with ExecutionSession() as session:
+            assert session.store is None
+            assert not session.has_store
+            outcome = session.submit(SweepJob(slice_payloads()))
+        assert outcome.status == STATUS_COMPLETE
+        assert outcome.store_stats is None
+
+    def test_store_requiring_jobs_fail_without_store(self):
+        with ExecutionSession() as session:
+            with pytest.raises(JobSpecError, match="needs a session with a store"):
+                session.submit(ReportJob())
+            with pytest.raises(JobSpecError, match="needs a session with a store"):
+                session.submit(CompareJob(reference="base.json"))
+
+    def test_report_no_solution_on_empty_store(self, tmp_path):
+        with ExecutionSession(store_path=tmp_path / "empty.db") as session:
+            session.store  # create the store file
+            outcome = session.submit(ReportJob())
+        assert outcome.status == STATUS_NO_SOLUTION
+        assert "no stored records" in outcome.message
+        assert exit_code_for(outcome.status) == 3
+
+    def test_unknown_job_type_is_spec_error(self):
+        events = []
+        with ExecutionSession() as session:
+            with pytest.raises(JobSpecError, match="not a known job type"):
+                session.submit(object(), on_event=events.append)
+        assert [e.status for e in events] == [STATUS_INITIALIZED, STATUS_ERROR]
+
+    def test_fuzz_log_events_stream(self, tmp_path):
+        events = []
+        with ExecutionSession(store_path=tmp_path / "fuzz.db") as session:
+            session.submit(
+                FuzzJob(specs_to_payloads(resolve_fuzz_bases(["binary+none+partition"])), budget=6),
+                on_event=events.append,
+            )
+        logs = [e.message for e in events if e.kind == EVENT_LOG]
+        assert logs, "fuzz progress lines should surface as log events"
+
+
+# ----------------------------------------------------------------------
+# Teardown guarantees
+# ----------------------------------------------------------------------
+class TestTeardown:
+    def test_closed_session_refuses_work(self):
+        session = ExecutionSession()
+        session.close()
+        assert session.closed
+        with pytest.raises(SessionClosedError):
+            session.submit(SweepJob(slice_payloads()))
+        with pytest.raises(SessionClosedError):
+            session.runner
+        session.close()  # idempotent
+
+    def test_mid_job_exception_still_tears_down(self, tmp_path, monkeypatch):
+        from repro.jobs import executor as executor_module
+
+        def explode(*args, **kwargs):
+            raise RuntimeError("kernel died")
+
+        monkeypatch.setitem(executor_module._HANDLERS, SweepJob.kind, explode)
+        events = []
+        session = ExecutionSession(store_path=tmp_path / "runs.db")
+        with pytest.raises(RuntimeError, match="kernel died"):
+            with session:
+                session.submit(SweepJob(slice_payloads()), on_event=events.append)
+        assert session.closed
+        assert session._runner is None and session._store is None
+        # The event stream still records how the job ended.
+        assert [e.status for e in events] == [STATUS_INITIALIZED, STATUS_RUNNING, STATUS_ERROR]
+
+    def test_session_survives_job_error_until_closed(self, tmp_path):
+        # A failing job must not poison the session: the next submit reuses
+        # the same pool and store.
+        with ExecutionSession(store_path=tmp_path / "runs.db") as session:
+            with pytest.raises(JobSpecError):
+                session.submit(AnalyzeJob(families=("named",), cross_check_reference="absent.json"))
+            outcome = session.submit(SweepJob(slice_payloads()))
+        assert outcome.status == STATUS_COMPLETE
+
+    def test_abandoned_generator_then_close(self, tmp_path):
+        # Abandon a streaming sweep mid-flight; closing the session must
+        # still terminate the pool and flush the store without hanging.
+        with ExecutionSession(parallel=2, store_path=tmp_path / "runs.db") as session:
+            scenarios = select_scenarios(SLICE)
+            iterator = session.runner.iter_runs(scenarios, [DEFAULT_SEED], store=session.store)
+            next(iterator)
+            del iterator
+        with RunStore(tmp_path / "runs.db") as store:
+            assert sum(1 for _ in store.iter_records()) >= 1
+
+    def test_flush_failure_keeps_store_for_retry(self, tmp_path, monkeypatch):
+        import sqlite3
+
+        session = ExecutionSession(store_path=tmp_path / "runs.db")
+        session.submit(SweepJob(slice_payloads()))
+        store = session._store
+        original = store._flush_into
+        calls = {"n": 0}
+
+        def failing_flush_into(conn):
+            if calls["n"] == 0:
+                calls["n"] += 1
+                raise sqlite3.OperationalError("disk full")
+            return original(conn)
+
+        monkeypatch.setattr(store, "_flush_into", failing_flush_into)
+        with pytest.raises(StoreFlushError):
+            session.close()
+        # Pool is gone, session is closed, but the store is kept for retry.
+        assert session.closed
+        assert session._runner is None
+        assert session._store is store
+        session.close()  # retry succeeds and releases the store
+        assert session._store is None
+
+    def test_open_run_store_is_context_managed(self, tmp_path):
+        path = tmp_path / "runs.db"
+        with open_run_store(path) as store:
+            assert isinstance(store, RunStore)
+        # Reopening proves the connection was cleanly closed.
+        with open_run_store(path) as store:
+            assert store.stats.hits == 0

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""CI smoke: the CLI and the job API are the same computation.
+
+Drives one matrix slice twice — once through ``repro.experiments.cli.main``
+(the rendering shell) and once through ``ExecutionSession.submit`` (the job
+API underneath it) — and asserts:
+
+* the raw run-record JSON and the summary-baseline JSON written by the two
+  paths are byte-identical;
+* a warm second ``submit`` of the same job spec against the same store
+  executes zero runs (100% cache hits, nothing newly stored).
+
+Exits non-zero with a diagnostic on any divergence.
+
+Run with:  python tools/jobs_api_smoke.py
+"""
+
+import pathlib
+import sys
+import tempfile
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.experiments.aggregate import results_to_json, write_baseline
+from repro.experiments.cli import main as cli_main
+from repro.jobs import ExecutionSession, SweepJob, select_scenarios, specs_to_payloads
+
+PROTOCOLS = ["binary", "quad"]
+SEEDS = (2023, 2024)
+
+
+def fail(message: str) -> int:
+    print(f"jobs-api smoke: FAIL: {message}", file=sys.stderr)
+    return 1
+
+
+def smoke() -> int:
+    with tempfile.TemporaryDirectory() as tmp:
+        work = pathlib.Path(tmp)
+        cli_records = work / "cli_records.json"
+        cli_baseline = work / "cli_baseline.json"
+        code = cli_main(
+            [
+                "run",
+                "--protocol", *PROTOCOLS,
+                "--seeds", ",".join(str(seed) for seed in SEEDS),
+                "--quiet",
+                "--store", str(work / "cli.db"),
+                "--output", str(cli_records),
+                "--write-baseline", str(cli_baseline),
+            ]
+        )
+        if code != 0:
+            return fail(f"CLI sweep exited {code}")
+
+        job = SweepJob(
+            specs_to_payloads(select_scenarios(protocols=PROTOCOLS)),
+            seeds=SEEDS,
+            collect_records=True,
+        )
+        with ExecutionSession(store_path=work / "api.db") as session:
+            cold = session.submit(job)
+            warm = session.submit(job)
+
+        if cli_records.read_text() != results_to_json(cold.records) + "\n":
+            return fail("run-record JSON differs between the CLI and the job API")
+        api_baseline = work / "api_baseline.json"
+        write_baseline(api_baseline, cold.summaries)
+        if cli_baseline.read_bytes() != api_baseline.read_bytes():
+            return fail("summary-baseline JSON differs between the CLI and the job API")
+
+        if not cold.run_count:
+            return fail("smoke slice selected no runs")
+        executed = warm.run_count - warm.store_stats["hits"]
+        if executed or warm.store_stats["stored"]:
+            return fail(
+                f"warm submit executed {executed} run(s) and stored "
+                f"{warm.store_stats['stored']} — expected a 100% cached replay"
+            )
+
+        print(
+            f"jobs-api smoke: OK — {cold.run_count} runs byte-identical across the CLI "
+            "and the job API; warm submit executed 0 runs"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(smoke())
