@@ -700,7 +700,7 @@ def run_analysis(
                 on_verdict(len(verdicts) - 1, verdict)
     finally:
         if store is not None:
-            store.flush()
+            store.flush_retrying(raise_on_failure=False)
     return AnalysisRun(
         verdicts=verdicts, cached=len(cached), classified=len(task_list) - len(cached)
     )

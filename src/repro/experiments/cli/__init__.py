@@ -43,7 +43,8 @@ The process exits non-zero when any run errors out, violates a correctness
 property, or regresses against the baseline — which makes the command usable
 directly as a CI gate.  Exit codes: 0 success, 1 failures/regressions,
 2 configuration errors, 3 empty slice (``report``/``compare`` found no
-matching records).
+matching records), 130 interrupted (Ctrl-C; the pool is torn down and
+completed records are flushed before exiting).
 
 Each subcommand lives in its own module (``run``, ``report``, ``analyze``,
 ``fuzz``, ``compare``) and does exactly three things: parse arguments,
@@ -58,8 +59,10 @@ from __future__ import annotations
 import argparse
 from typing import Optional, Sequence
 
+import sys
+
 from ...jobs.spec import DEFAULT_FUZZ_BASES
-from ...jobs.status import EXIT_EMPTY_SLICE
+from ...jobs.status import EXIT_EMPTY_SLICE, EXIT_INTERRUPTED
 from . import analyze, compare, fuzz, report, run
 from .common import DEFAULT_MATRIX_BASELINE, DEFAULT_VERDICT_BASELINE
 from .listing import command_list
@@ -75,6 +78,7 @@ __all__ = [
     "DEFAULT_MATRIX_BASELINE",
     "DEFAULT_VERDICT_BASELINE",
     "EXIT_EMPTY_SLICE",
+    "EXIT_INTERRUPTED",
 ]
 
 
@@ -115,6 +119,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return command_list(args.json)
     command = _COMMANDS.get(args.command)
     if command is not None:
-        return command(args)
+        try:
+            return command(args)
+        except KeyboardInterrupt:
+            # The session's context manager already tore down the pool and
+            # flushed completed records on the way out; all that is left is
+            # to report the interruption with the conventional SIGINT code.
+            print(f"interrupted: {args.command} stopped by SIGINT", file=sys.stderr)
+            return EXIT_INTERRUPTED
     parser.error(f"unknown command {args.command!r}")
     return 2  # pragma: no cover - parser.error raises

@@ -9,7 +9,12 @@ import sys
 from ...jobs import AnalyzeJob, ExecutionSession, JobSpecError
 from ...jobs.status import EXIT_FAILURE, EXIT_OK
 from ...store.store import StoreFormatError
-from .common import DEFAULT_MATRIX_BASELINE, DEFAULT_VERDICT_BASELINE, fail
+from .common import (
+    DEFAULT_MATRIX_BASELINE,
+    DEFAULT_VERDICT_BASELINE,
+    add_resilience_arguments,
+    fail,
+)
 from .validators import positive_int
 
 
@@ -29,6 +34,7 @@ def add_parser(subparsers) -> None:
     analyze.add_argument(
         "--parallel", type=positive_int, default=None, metavar="W", help="worker processes (default: serial)"
     )
+    add_resilience_arguments(analyze)
     analyze.add_argument(
         "--store",
         type=pathlib.Path,
@@ -100,7 +106,12 @@ def command_analyze(args: argparse.Namespace) -> int:
         rerun=args.rerun,
     )
     try:
-        with ExecutionSession(parallel=args.parallel, store_path=args.store) as session:
+        with ExecutionSession(
+            parallel=args.parallel,
+            store_path=args.store,
+            max_retries=args.max_retries,
+            fail_fast=args.fail_fast,
+        ) as session:
             outcome = session.submit(job)
     except JobSpecError as exc:
         return fail(str(exc))

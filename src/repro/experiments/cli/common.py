@@ -41,3 +41,29 @@ def add_slice_arguments(parser: argparse.ArgumentParser, with_scenario: bool = T
     parser.add_argument("--protocol", nargs="+", default=None, choices=sorted(PROTOCOLS))
     parser.add_argument("--adversary", nargs="+", default=None, choices=sorted(ADVERSARIES))
     parser.add_argument("--delay", nargs="+", default=None, choices=sorted(DELAY_MODELS))
+
+
+def add_resilience_arguments(parser: argparse.ArgumentParser) -> None:
+    """The fault-tolerance knobs shared by ``run``, ``analyze`` and ``fuzz``.
+
+    Validated at parse time through :func:`.validators.non_negative_int`, so
+    a bad retry budget dies with the same argparse error in every command.
+    """
+    from .validators import non_negative_int
+
+    parser.add_argument(
+        "--max-retries",
+        type=non_negative_int,
+        default=None,
+        metavar="N",
+        help="retries granted to a task whose worker crashes and to failing store "
+        "flushes, before the task is quarantined / the flush error surfaces "
+        "(default: the retry policy's built-in budget)",
+    )
+    parser.add_argument(
+        "--fail-fast",
+        action="store_true",
+        help="stop at the first failed unit of work (first failed run, first "
+        "divergent verdict, first violating fuzz batch) instead of completing "
+        "the whole matrix",
+    )

@@ -19,7 +19,7 @@ from ...jobs import (
 from ...jobs.status import EXIT_FAILURE, exit_code_for
 from ...store.store import StoreFormatError
 from ..runner import DEFAULT_SEED
-from .common import fail
+from .common import add_resilience_arguments, fail
 from .validators import positive_float, positive_int
 
 
@@ -63,6 +63,7 @@ def add_parser(subparsers) -> None:
     fuzz.add_argument(
         "--timeout", type=positive_float, default=None, help="per-run wall-clock timeout in seconds"
     )
+    add_resilience_arguments(fuzz)
     fuzz.add_argument(
         "--counterexamples",
         type=pathlib.Path,
@@ -106,7 +107,11 @@ def command_fuzz(args: argparse.Namespace) -> int:
 
     try:
         with ExecutionSession(
-            parallel=args.parallel, timeout=args.timeout, store_path=args.store
+            parallel=args.parallel,
+            timeout=args.timeout,
+            store_path=args.store,
+            max_retries=args.max_retries,
+            fail_fast=args.fail_fast,
         ) as session:
             outcome = session.submit(job, on_event=on_event)
     except StoreFormatError as exc:

@@ -20,7 +20,7 @@ from ...store.store import StoreFormatError
 from ..aggregate import check_baseline, results_to_json, summaries_to_payload, write_baseline
 from ..runner import DEFAULT_SEED
 from ..scenario import ScenarioSpec
-from .common import add_slice_arguments, fail
+from .common import add_resilience_arguments, add_slice_arguments, fail
 from .validators import parse_seeds, positive_float, positive_int
 
 
@@ -47,6 +47,7 @@ def add_parser(subparsers) -> None:
     run.add_argument(
         "--timeout", type=positive_float, default=None, help="per-run wall-clock timeout in seconds"
     )
+    add_resilience_arguments(run)
     run.add_argument(
         "--store",
         type=pathlib.Path,
@@ -136,7 +137,11 @@ def command_run(args: argparse.Namespace) -> int:
     )
     try:
         with ExecutionSession(
-            parallel=args.parallel, timeout=args.timeout, store_path=args.store
+            parallel=args.parallel,
+            timeout=args.timeout,
+            store_path=args.store,
+            max_retries=args.max_retries,
+            fail_fast=args.fail_fast,
         ) as session:
             outcome = session.submit(job)
     except StoreFormatError as exc:

@@ -1,9 +1,10 @@
 """Shared argument validators for every ``repro.experiments`` subcommand.
 
-One definition each for the three numeric shapes the CLI accepts — worker
-counts, timeouts, seed lists — applied uniformly across ``run``,
-``analyze``, ``fuzz`` (``--budget`` included) and friends, so each flag
-rejects bad input with the same message everywhere.
+One definition each for the numeric shapes the CLI accepts — worker
+counts, retry budgets, timeouts, seed lists — applied uniformly across
+``run``, ``analyze``, ``fuzz`` (``--budget`` and ``--max-retries``
+included) and friends, so each flag rejects bad input with the same
+message everywhere.
 """
 
 from __future__ import annotations
@@ -22,6 +23,17 @@ def positive_int(raw: str) -> int:
         raise argparse.ArgumentTypeError(f"expected a positive integer, got {raw!r}") from None
     if value < 1:
         raise argparse.ArgumentTypeError(f"expected a positive integer, got {value}")
+    return value
+
+
+def non_negative_int(raw: str) -> int:
+    """argparse type: zero or a positive integer (retry budgets)."""
+    try:
+        value = int(raw)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a non-negative integer, got {raw!r}") from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"expected a non-negative integer, got {value}")
     return value
 
 

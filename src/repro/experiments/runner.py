@@ -25,14 +25,25 @@ from __future__ import annotations
 import contextlib
 import functools
 import json
+import logging
 import multiprocessing
 import os
 import signal
 from dataclasses import asdict, dataclass
-from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
+from ..resilience.faults import FaultPlan, FaultState
+from ..resilience.retry import RetryPolicy, TaskQuarantinedError
+from ..resilience.supervisor import (
+    SUPERVISION_GRACE,
+    PoisonRecord,
+    SupervisionStats,
+    Supervisor,
+)
 from ..sim.simulation import Simulation, SimulationError
 from .scenario import ADVERSARIES, DELAY_MODELS, PROTOCOLS, ScenarioSpec
+
+_LOG = logging.getLogger("repro.experiments.runner")
 
 DEFAULT_SEED = 2023
 """The shared seed used by benchmarks and smoke sweeps (one seeding path)."""
@@ -198,6 +209,13 @@ function of the ``(scenario, seed, code)`` content key, so the run store uses
 this prefix to refuse to persist such records — keep the two in sync through
 this constant, never a literal."""
 
+POISON_ERROR_PREFIX = "poison:"
+"""Marks a quarantined-task record: the task repeatedly killed its worker
+and supervision gave up on it.  Like a timeout, that is a host condition —
+a healthier host might complete the run — so the run store refuses to
+persist such records in the ``runs`` table (they go to the ``poison``
+quarantine table instead, via :meth:`repro.store.RunStore.put_poison`)."""
+
 
 _ALARM_ARMED = False
 # Guards against a late SIGALRM delivered after the run already finished: the
@@ -228,6 +246,30 @@ def _timeout_result(spec: ScenarioSpec, seed: int, timeout: float) -> RunResult:
         byzantine_messages=0,
         decision_latency=None,
         error=f"{TIMEOUT_ERROR_PREFIX} run exceeded {timeout}s wall clock",
+    )
+
+
+def _poison_result(spec: ScenarioSpec, seed: int, record: PoisonRecord) -> RunResult:
+    # A quarantined run, like a timed-out one, has no verdict: the task
+    # never produced a result, so agreement/validity/latency are unknown.
+    return RunResult(
+        scenario=spec.name,
+        seed=seed,
+        completed=False,
+        agreement=None,
+        validity_ok=None,
+        violations=(),
+        decisions=(),
+        message_complexity=0,
+        communication_complexity=0,
+        total_messages=0,
+        total_words=0,
+        byzantine_messages=0,
+        decision_latency=None,
+        error=(
+            f"{POISON_ERROR_PREFIX} task quarantined after {record.attempts} "
+            f"attempt(s): {record.reason}"
+        ),
     )
 
 
@@ -338,6 +380,22 @@ class Runner:
             started *before* this call captured its environment then, so the
             pin cannot reach its workers; only fork and spawn carry the
             guarantee.)
+        retry_policy: Retry budget and backoff for supervised dispatch:
+            an in-flight task whose worker dies is re-dispatched up to
+            ``max_attempts`` times before being quarantined as poison.
+            Defaults to :class:`~repro.resilience.retry.RetryPolicy`'s
+            defaults (seeded from the fault plan when one is active).
+        fault_plan: Deterministic fault injection for chaos tests; defaults
+            to the plan in the ``REPRO_FAULT_PLAN`` environment variable,
+            else none.  The serial path never injects faults.
+        supervision_deadline: Per-task wall-clock ceiling (seconds from
+            dispatch) after which supervision presumes the worker hung and
+            reclaims it.  Defaults to ``timeout`` plus a grace period when
+            a per-run timeout is set (the worker's own ``SIGALRM`` should
+            fire first), else no deadline (worker *death* is still caught
+            via pool pid churn).
+        on_log: Optional sink for supervision/teardown log lines; defaults
+            to the module logger.
     """
 
     def __init__(
@@ -345,6 +403,10 @@ class Runner:
         parallel: Optional[int] = None,
         timeout: Optional[float] = None,
         start_method: Optional[str] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        supervision_deadline: Optional[float] = None,
+        on_log: Optional[Callable[[str], None]] = None,
     ):
         if parallel is not None and parallel < 0:
             raise ValueError("parallel must be a non-negative worker count")
@@ -365,6 +427,18 @@ class Runner:
         self.parallel = parallel
         self.timeout = timeout
         self.start_method = start_method
+        if fault_plan is None:
+            fault_plan = FaultPlan.from_env()
+        if retry_policy is None:
+            retry_policy = RetryPolicy(seed=fault_plan.seed if fault_plan is not None else 0)
+        self.retry_policy = retry_policy
+        self.fault_plan = fault_plan
+        if supervision_deadline is None and timeout is not None:
+            supervision_deadline = timeout + SUPERVISION_GRACE
+        self.supervision_deadline = supervision_deadline
+        self.supervision = SupervisionStats()
+        self.on_log = on_log
+        self._fault_state = FaultState(plan=fault_plan)
         self._pool = None
 
     # ------------------------------------------------------------------
@@ -396,6 +470,13 @@ class Runner:
             self._pool = pool
         return self._pool
 
+    def _log(self, message: str) -> None:
+        """Route a supervision/teardown log line to the configured sink."""
+        if self.on_log is not None:
+            self.on_log(message)
+        else:
+            _LOG.warning(message)
+
     def close(self) -> None:
         """Shut the persistent pool down (a later sweep recreates it).
 
@@ -403,14 +484,24 @@ class Runner:
         teardown, so a second ``close`` (or a ``close`` after ``_ensure_pool``
         failed and left no pool) is a no-op, and a worker that refuses to
         terminate cleanly cannot leave the runner pointing at a dead pool.
+        Teardown suppresses only the errors a dying pool legitimately
+        raises (``OSError`` from dead pipes, pool-state ``ValueError``/
+        ``AssertionError``/``RuntimeError``); anything else is logged so a
+        real bug in teardown stops being silently swallowed.
         """
         pool, self._pool = self._pool, None
         if pool is None:
             return
-        with contextlib.suppress(Exception):
-            pool.terminate()
-        with contextlib.suppress(Exception):
-            pool.join()
+        for teardown in (pool.terminate, pool.join):
+            try:
+                teardown()
+            except (OSError, ValueError, AssertionError, RuntimeError):
+                pass  # a dying pool's expected complaints
+            except Exception as exc:  # noqa: BLE001 - logged, never raised from teardown
+                self._log(
+                    f"runner: unexpected {type(exc).__name__} during pool "
+                    f"{teardown.__name__}: {exc}"
+                )
 
     def __enter__(self) -> "Runner":
         return self
@@ -435,15 +526,20 @@ class Runner:
         cached: Optional[Dict[int, Any]] = None,
         on_result: Optional[Any] = None,
         indexed_func: Optional[Any] = None,
+        on_poison: Optional[Any] = None,
     ) -> Iterator[Any]:
         """Yield ``func(item)`` for every item, in item order, through the pool.
 
         This is the engine under :meth:`iter_runs`, exposed so other
         deterministic workloads (the :mod:`repro.analysis.pipeline` property
-        classifier) can ride the same persistent worker pool: parallel
-        dispatch is ``imap_unordered`` with a computed chunksize, and a small
-        reorder buffer restores deterministic item order, so serial and
-        parallel invocations yield byte-identical sequences for pure ``func``.
+        classifier, the fuzz engine) can ride the same persistent worker
+        pool.  Parallel dispatch is *supervised* (see
+        :class:`repro.resilience.Supervisor`): a worker that dies or hangs
+        mid-task is detected parent-side, the pool is respawned, and the
+        lost tasks are re-dispatched under :attr:`retry_policy` — while a
+        small reorder buffer still restores deterministic item order, so
+        serial and parallel invocations yield byte-identical sequences for
+        pure ``func`` even across worker crashes.
 
         Args:
             func: Picklable top-level callable applied to each item.
@@ -457,6 +553,11 @@ class Runner:
             indexed_func: Optional picklable ``f((index, item)) -> (index,
                 result)`` override for parallel dispatch; defaults to a
                 generic wrapper around ``func``.
+            on_poison: Optional ``on_poison(index, PoisonRecord) -> result``
+                substitution for a task quarantined after exhausting its
+                retry budget; the returned value is yielded (and passed to
+                ``on_result``) in the task's slot.  Without it, quarantine
+                raises :class:`~repro.resilience.retry.TaskQuarantinedError`.
 
         Abandoning the iterator early terminates the worker pool, exactly
         like :meth:`iter_runs` (dispatched work cannot be un-sent).
@@ -478,17 +579,26 @@ class Runner:
                         on_result(index, result)
                 yield result
             return
-        pool = self._ensure_pool()
-        workers = min(self.parallel, len(misses))
-        chunksize = max(1, len(misses) // (workers * 4))
         worker = indexed_func if indexed_func is not None else functools.partial(_invoke_indexed, func)
         indexed = [(index, items[index]) for index in misses]
+        supervisor = Supervisor(
+            self,
+            self.retry_policy,
+            self._fault_state,
+            deadline=self.supervision_deadline,
+            stats=self.supervision,
+            on_log=self._log,
+        )
         next_index = 0
         try:
             while next_index in pending:  # cached results before the first miss: serve now
                 yield pending.pop(next_index)
                 next_index += 1
-            for index, result in pool.imap_unordered(worker, indexed, chunksize):
+            for index, result in supervisor.map_unordered(worker, indexed):
+                if isinstance(result, PoisonRecord):
+                    if on_poison is None:
+                        raise TaskQuarantinedError(result.index, result.attempts, result.reason)
+                    result = on_poison(index, result)
                 if on_result is not None:
                     on_result(index, result)
                 pending[index] = result
@@ -550,6 +660,16 @@ class Runner:
         def persist(index: int, result: RunResult) -> None:
             store.put(items[index][0], result)
 
+        def quarantine(index: int, record: Any) -> RunResult:
+            # A task that kept killing its worker becomes a typed poison
+            # record in the result stream (and the store's quarantine
+            # table) instead of aborting the sweep.
+            spec, seed, _timeout = items[index]
+            result = _poison_result(spec, seed, record)
+            if store is not None:
+                store.put_poison(spec, seed, attempts=record.attempts, reason=record.reason)
+            return result
+
         try:
             yield from self.iter_tasks(
                 _execute_with_timeout,
@@ -557,10 +677,14 @@ class Runner:
                 cached=cached,
                 on_result=persist if store is not None else None,
                 indexed_func=_execute_indexed,
+                on_poison=quarantine,
             )
         finally:
             if store is not None:
-                store.flush()
+                # Best-effort with retry: a failing flush here must not
+                # discard an otherwise-complete sweep — close() is the
+                # deadline that raises (or spills to the journal).
+                store.flush_retrying(raise_on_failure=False)
 
     def run(
         self,

@@ -25,7 +25,13 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-from ..experiments.runner import DEFAULT_SEED, Runner, RunResult, _execute_with_timeout
+from ..experiments.runner import (
+    DEFAULT_SEED,
+    Runner,
+    RunResult,
+    _execute_with_timeout,
+    _poison_result,
+)
 from ..experiments.scenario import ScenarioSpec
 from ..sim import instrument
 from ..store.fingerprint import payload_fingerprint, spec_payload
@@ -134,6 +140,7 @@ def run_fuzz(
     base_seed: int = DEFAULT_SEED,
     shrink: bool = True,
     log: Optional[Callable[[str], None]] = None,
+    fail_fast: bool = False,
 ) -> FuzzReport:
     """Run one coverage-guided campaign; returns its :class:`FuzzReport`.
 
@@ -150,6 +157,9 @@ def run_fuzz(
         base_seed: The per-run seed mutations perturb from.
         shrink: Whether to delta-debug violating inputs before reporting.
         log: Optional progress sink (one line per round).
+        fail_fast: Stop the walk at the end of the first batch that found
+            a violation (batch-granular so the deterministic walk is cut
+            at a deterministic point) instead of spending the whole budget.
     """
     if budget < 1:
         raise ValueError("fuzz budget must be at least 1")
@@ -174,6 +184,7 @@ def run_fuzz(
                 base_seed=base_seed,
                 shrink=shrink,
                 log=log,
+                fail_fast=fail_fast,
             )
     effective_timeout = runner.timeout
 
@@ -237,7 +248,19 @@ def run_fuzz(
                 if result is not None:
                     cached[position] = (result, tuple(record.entry["coverage"]))
         items = [(spec, seed, effective_timeout) for _bi, _muts, spec, seed, _fp in batch]
-        outcomes = list(runner.iter_tasks(fuzz_execute, items, cached=cached))
+
+        def quarantine(index: int, record: Any) -> Tuple[RunResult, Tuple[str, ...]]:
+            # A candidate that kept killing its worker yields a typed
+            # poison result with no coverage — it joins neither the pool
+            # nor the store's runs table, but is quarantined by name.
+            spec, seed, _timeout = items[index]
+            if store is not None:
+                store.put_poison(spec, seed, attempts=record.attempts, reason=record.reason)
+            return (_poison_result(spec, seed, record), ())
+
+        outcomes = list(
+            runner.iter_tasks(fuzz_execute, items, cached=cached, on_poison=quarantine)
+        )
         # Score strictly in candidate order: the pool and coverage map
         # evolve identically no matter how execution was scheduled.
         for position, ((base_index, mutations, spec, seed, fp), (result, cov)) in enumerate(
@@ -289,6 +312,10 @@ def run_fuzz(
                 f"{len(coverage)} sites, {report.violating} violating, "
                 f"pool {len(pool)}"
             )
+        if fail_fast and report.violating:
+            if log is not None:
+                log("fuzz: stopping at first violating batch (fail-fast)")
+            break
 
     report.pool_size = len(pool)
     report.coverage_sites = len(coverage)
@@ -339,5 +366,5 @@ def run_fuzz(
                 f"{len(minimal)} mutation(s)"
             )
     if store is not None:
-        store.flush()
+        store.flush_retrying(raise_on_failure=False)
     return report

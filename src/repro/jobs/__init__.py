@@ -54,6 +54,7 @@ from .status import (
     EXIT_CONFIG,
     EXIT_EMPTY_SLICE,
     EXIT_FAILURE,
+    EXIT_INTERRUPTED,
     EXIT_OK,
     STATUS_COMPLETE,
     STATUS_ERROR,
@@ -81,6 +82,7 @@ __all__ = [
     "EXIT_CONFIG",
     "EXIT_EMPTY_SLICE",
     "EXIT_FAILURE",
+    "EXIT_INTERRUPTED",
     "EXIT_OK",
     "ExecutionSession",
     "FuzzJob",

@@ -36,7 +36,7 @@ kernels propagate to the caller after an ``Error`` status event.
 from __future__ import annotations
 
 import pathlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, List, Optional
 
 from ..experiments.aggregate import ScenarioSummary, StreamingAggregator
@@ -67,7 +67,15 @@ _EventSink = Optional[Callable[[JobEvent], None]]
 # ----------------------------------------------------------------------
 @dataclass
 class SweepOutcome:
-    """Result of a :class:`SweepJob`: aggregated summaries plus failures."""
+    """Result of a :class:`SweepJob`: aggregated summaries plus failures.
+
+    ``quarantined`` lists poison records — tasks supervision gave up on
+    after they repeatedly killed their worker (see
+    :mod:`repro.resilience`); they are reported separately from ordinary
+    ``failures`` because they carry no verdict, only a host-side
+    diagnosis.  ``supervision`` is the runner's crash/retry counter delta
+    for this job.
+    """
 
     status: str
     run_count: int
@@ -77,6 +85,8 @@ class SweepOutcome:
     failures: List[RunResult]
     records: Optional[List[RunResult]] = None
     store_stats: Optional[Dict[str, int]] = None
+    quarantined: List[RunResult] = field(default_factory=list)
+    supervision: Optional[Dict[str, int]] = None
 
 
 @dataclass
@@ -145,22 +155,38 @@ def _require_store(session: Any, kind: str) -> Any:
 # ----------------------------------------------------------------------
 # Per-job handlers (resolve inputs first, then touch session resources)
 # ----------------------------------------------------------------------
+def _wire_runner_log(job: Any, session: Any, emit: Callable[[JobEvent], None]) -> Any:
+    """Route the runner's supervision log lines into the job's event stream."""
+    runner = session.runner
+    runner.on_log = lambda message: emit(JobEvent(job=job.kind, kind=EVENT_LOG, message=message))
+    return runner
+
+
 def _run_sweep(job: SweepJob, session: Any, emit: Callable[[JobEvent], None]) -> SweepOutcome:
+    from ..experiments.runner import POISON_ERROR_PREFIX
+
     scenarios = payloads_to_specs(job.scenario_payloads)
     store = session.store
     before = _stats_snapshot(store)
+    runner = _wire_runner_log(job, session, emit)
+    supervision_before = runner.supervision.as_dict()
     aggregator = StreamingAggregator()
     failures: List[RunResult] = []
+    quarantined: List[RunResult] = []
     records: Optional[List[RunResult]] = [] if job.collect_records else None
     total = len(scenarios) * len(job.seeds)
     run_count = 0
+    fail_fast = bool(getattr(session, "fail_fast", False))
     for result in session.runner.iter_runs(
         scenarios, list(job.seeds), store=store, rerun=job.rerun
     ):
         run_count += 1
         aggregator.add(result)
         if not result.ok:
-            failures.append(result)
+            if result.error is not None and result.error.startswith(POISON_ERROR_PREFIX):
+                quarantined.append(result)
+            else:
+                failures.append(result)
         if records is not None:
             records.append(result)
         emit(
@@ -169,8 +195,13 @@ def _run_sweep(job: SweepJob, session: Any, emit: Callable[[JobEvent], None]) ->
                 message=f"{result.scenario} seed={result.seed}",
             )
         )
+        if fail_fast and not result.ok:
+            # Abandoning the iterator terminates the pool and flushes the
+            # store (iter_runs' own guarantees) — completed records survive.
+            break
+    supervision_after = runner.supervision.as_dict()
     return SweepOutcome(
-        status=STATUS_ERROR if failures else STATUS_COMPLETE,
+        status=STATUS_ERROR if failures or quarantined else STATUS_COMPLETE,
         run_count=run_count,
         scenario_count=len(scenarios),
         seed_count=len(job.seeds),
@@ -178,6 +209,10 @@ def _run_sweep(job: SweepJob, session: Any, emit: Callable[[JobEvent], None]) ->
         failures=failures,
         records=records,
         store_stats=_stats_delta(store, before),
+        quarantined=quarantined,
+        supervision={
+            key: supervision_after[key] - supervision_before[key] for key in supervision_after
+        },
     )
 
 
@@ -212,6 +247,7 @@ def _run_analyze(job: AnalyzeJob, session: Any, emit: Callable[[JobEvent], None]
 
     store = session.store
     before = _stats_snapshot(store)
+    _wire_runner_log(job, session, emit)
     total = len(tasks)
 
     def on_verdict(index: int, verdict: Any) -> None:
@@ -237,6 +273,11 @@ def _run_analyze(job: AnalyzeJob, session: Any, emit: Callable[[JobEvent], None]
             cross_check_error = str(exc)
         else:
             cross_check = cross_check_matrix(analysis.by_label(), reference)
+            if getattr(session, "fail_fast", False) and cross_check.divergences:
+                # Fail-fast analyze reports the first divergence only: the
+                # caller asked to stop at the first contradiction, not to
+                # enumerate the whole matrix of them.
+                cross_check = replace(cross_check, divergences=cross_check.divergences[:1])
 
     failed = cross_check_error is not None or bool(cross_check and cross_check.divergences)
     return AnalyzeOutcome(
@@ -261,6 +302,7 @@ def _run_fuzz(job: FuzzJob, session: Any, emit: Callable[[JobEvent], None]) -> F
     def log(message: str) -> None:
         emit(JobEvent(job=job.kind, kind=EVENT_LOG, message=message))
 
+    session.runner.on_log = log
     report = run_fuzz(
         bases,
         job.budget,
@@ -270,6 +312,7 @@ def _run_fuzz(job: FuzzJob, session: Any, emit: Callable[[JobEvent], None]) -> F
         base_seed=job.base_seed,
         shrink=job.shrink,
         log=log,
+        fail_fast=bool(getattr(session, "fail_fast", False)),
     )
     return FuzzOutcome(
         status=STATUS_COMPLETE,
@@ -372,6 +415,16 @@ def execute_job(job: Any, session: Any, on_event: _EventSink = None) -> Any:
     except BaseException:
         lifecycle.transition(STATUS_ERROR)
         emit_status()
+        # Salvage what completed: best-effort retried flush of the session
+        # store's buffered records (KeyboardInterrupt included — the user
+        # killed the job, not the results it already computed).  Never
+        # masks the original error.
+        store = getattr(session, "_store", None)
+        if store is not None and getattr(store, "pending_count", 0):
+            try:
+                store.flush_retrying(raise_on_failure=False)
+            except Exception:
+                pass
         raise
     lifecycle.transition(outcome.status)
     emit_status()

@@ -17,10 +17,14 @@ one warm pool and one store connection::
 
 Teardown guarantees (the fair-termination discipline): :meth:`close` always
 terminates the worker pool first — even when the store flush is about to
-fail — then closes the store, which flushes its buffered records or raises
-:class:`~repro.store.store.StoreFlushError` *while keeping the connection*
-so the caller can retry (``close()`` again) or inspect what was lost.  A
-closed session refuses new work instead of silently reopening resources.
+fail — then closes the store, whose final flush is **retried** under the
+store's :class:`~repro.resilience.retry.RetryPolicy` (bounded attempts,
+seeded backoff) and degrades to the JSONL side-journal on disk-full.  Only
+when every avenue fails does close raise
+:class:`~repro.store.store.StoreFlushError` (naming the attempts spent)
+*while keeping the connection* so the caller can retry (``close()`` again)
+or inspect what was lost.  A closed session refuses new work instead of
+silently reopening resources.
 """
 
 from __future__ import annotations
@@ -29,6 +33,8 @@ import pathlib
 from typing import Any, Callable, Optional, Union
 
 from ..experiments.runner import Runner
+from ..resilience.faults import FaultPlan
+from ..resilience.retry import RetryPolicy
 from ..store.store import RunStore
 
 
@@ -59,6 +65,16 @@ class ExecutionSession:
         start_method: Optional ``multiprocessing`` start method override.
         store_options: Extra :class:`RunStore` keyword arguments
             (``batch_size``, ``code_fp``, ... — the testing escape hatches).
+        max_retries: Retries granted to a task whose worker dies (so the
+            retry budget is ``max_retries + 1`` total attempts) and to
+            failing store flushes.  ``None`` uses the
+            :class:`~repro.resilience.retry.RetryPolicy` default.
+        fail_fast: Stop a job at its first failed unit of work (first
+            failed run, first divergent verdict, first fuzz violation)
+            instead of completing the whole matrix.
+        fault_plan: Deterministic fault injection for chaos tests, threaded
+            into both the runner and the store; defaults to the plan in
+            the ``REPRO_FAULT_PLAN`` environment variable, else none.
 
     Both resources are lazy: a session that only runs :class:`ReportJob`\\ s
     never spawns a pool, and a storeless sweep never touches SQLite.  A
@@ -73,15 +89,30 @@ class ExecutionSession:
         store_path: Optional[Union[str, pathlib.Path]] = None,
         start_method: Optional[str] = None,
         store_options: Optional[dict] = None,
+        max_retries: Optional[int] = None,
+        fail_fast: bool = False,
+        fault_plan: Optional[FaultPlan] = None,
     ):
+        if max_retries is not None and max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
         self.parallel = parallel
         self.timeout = timeout
         self.store_path = pathlib.Path(store_path) if store_path is not None else None
         self.start_method = start_method
+        self.max_retries = max_retries
+        self.fail_fast = fail_fast
+        self.fault_plan = fault_plan
         self._store_options = dict(store_options) if store_options else {}
         self._runner: Optional[Runner] = None
         self._store: Optional[RunStore] = None
         self._closed = False
+
+    def _retry_policy(self) -> Optional[RetryPolicy]:
+        """The explicit policy ``max_retries`` implies, or None for defaults."""
+        if self.max_retries is None:
+            return None
+        seed = self.fault_plan.seed if self.fault_plan is not None else 0
+        return RetryPolicy(max_attempts=self.max_retries + 1, seed=seed)
 
     # ------------------------------------------------------------------
     # Resource ownership (lazy, single-instance)
@@ -104,6 +135,8 @@ class ExecutionSession:
                 parallel=self.parallel,
                 timeout=self.timeout,
                 start_method=self.start_method,
+                retry_policy=self._retry_policy(),
+                fault_plan=self.fault_plan,
             )
         return self._runner
 
@@ -117,7 +150,10 @@ class ExecutionSession:
         """
         self._check_open()
         if self._store is None and self.store_path is not None:
-            self._store = RunStore(self.store_path, **self._store_options)
+            options = dict(self._store_options)
+            options.setdefault("retry_policy", self._retry_policy())
+            options.setdefault("fault_plan", self.fault_plan)
+            self._store = RunStore(self.store_path, **options)
         return self._store
 
     def _check_open(self) -> None:
@@ -151,11 +187,14 @@ class ExecutionSession:
 
         The runner's pool is always terminated, even when the store flush is
         about to fail — a worker pool must never outlive its session.  Then
-        the store is closed, which flushes buffered records or raises
-        :class:`~repro.store.store.StoreFlushError`; on flush failure the
-        store reference is *kept* (and the session stays marked closed), so
-        calling :meth:`close` again retries the flush rather than dropping
-        the pending records on the floor.
+        the store is closed, which retries the final flush under the store's
+        retry policy (bounded attempts with seeded backoff) and spills to
+        the JSONL side-journal on disk-full; only when all of that fails
+        does it raise :class:`~repro.store.store.StoreFlushError` naming the
+        attempts spent.  On such a failure the store reference is *kept*
+        (and the session stays marked closed), so calling :meth:`close`
+        again retries the flush rather than dropping the pending records on
+        the floor.
         """
         self._closed = True
         runner, self._runner = self._runner, None

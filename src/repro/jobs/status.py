@@ -79,6 +79,11 @@ EXIT_EMPTY_SLICE = 3
 :data:`EXIT_CONFIG` so CI can tell "you asked for nothing" from "you asked
 wrongly"."""
 
+EXIT_INTERRUPTED = 130
+"""The job was interrupted (Ctrl-C / SIGINT): the session tore down its pool
+and flushed the records completed so far, then the CLI exited with the
+conventional ``128 + SIGINT`` code so shells and CI see a signal death."""
+
 _EXIT_CODES: Dict[str, int] = {
     STATUS_COMPLETE: EXIT_OK,
     STATUS_ERROR: EXIT_FAILURE,

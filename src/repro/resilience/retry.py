@@ -1,0 +1,157 @@
+"""Bounded, deterministic retries: :class:`RetryPolicy` and friends.
+
+Every retry loop in the repo — the supervisor re-dispatching a task whose
+worker died, the store re-attempting a failed flush — shares one policy
+shape: a bounded attempt budget, a seeded jittered exponential backoff,
+and a transient-vs-deterministic error classification.  Determinism is
+the point: backoff delays come from ``random.Random`` seeded with
+``(policy seed, attempt, token)``, never from the global RNG or the
+clock, so a chaos run under a fixed :class:`FaultPlan` replays the exact
+same schedule every time.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+import time
+from dataclasses import dataclass
+from random import Random
+from typing import Any, Callable, Optional, TypeVar
+
+T = TypeVar("T")
+
+TRANSIENT = "transient"
+"""Classification for errors worth retrying (infrastructure hiccups)."""
+
+DETERMINISTIC = "deterministic"
+"""Classification for errors that will recur on retry (real bugs)."""
+
+
+class TaskQuarantinedError(RuntimeError):
+    """A task exhausted its retry budget killing workers and was quarantined.
+
+    Raised by supervised dispatch when the caller provides no poison
+    handler; carries the task's dispatch index and attempt count so the
+    caller can report which unit of work is poisonous.
+    """
+
+    def __init__(self, index: int, attempts: int, reason: str) -> None:
+        super().__init__(
+            f"task {index} quarantined after {attempts} attempt(s): {reason}"
+        )
+        self.index = index
+        self.attempts = attempts
+        self.reason = reason
+
+
+class WorkerCrashError(RuntimeError):
+    """A pool worker died (or was reclaimed past deadline) mid-task.
+
+    Never escapes supervised dispatch directly — it is the internal,
+    always-transient signal that a dispatched task lost its worker and
+    must be retried or quarantined.
+    """
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded attempts with seeded, jittered exponential backoff.
+
+    Args:
+        max_attempts: Total attempts including the first (so ``3`` means
+            one try plus two retries).  Must be >= 1.
+        backoff_base: Delay before the first retry, in seconds.
+        backoff_factor: Multiplier applied per subsequent retry.
+        backoff_max: Upper clamp on any single delay.
+        jitter: Fractional jitter: the delay is scaled by a factor drawn
+            uniformly from ``[1 - jitter, 1 + jitter]``.
+        seed: Seeds the jitter draw (together with attempt and token), so
+            delays are a pure function of ``(seed, attempt, token)``.
+    """
+
+    max_attempts: int = 3
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max: float = 2.0
+    jitter: float = 0.25
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.backoff_base < 0 or self.backoff_max < 0:
+            raise ValueError("backoff delays must be non-negative")
+        if not 0 <= self.jitter <= 1:
+            raise ValueError(f"jitter must be within [0, 1], got {self.jitter}")
+
+    def backoff(self, attempt: int, token: Any = 0) -> float:
+        """The delay (seconds) before retry number ``attempt`` (1-based).
+
+        Deterministic: the jitter factor is drawn from a ``Random`` seeded
+        with ``(seed, attempt, token)``, so the same policy produces the
+        same schedule for the same task on every run.
+        """
+        if attempt < 1:
+            return 0.0
+        raw = self.backoff_base * (self.backoff_factor ** (attempt - 1))
+        raw = min(raw, self.backoff_max)
+        if self.jitter:
+            rng = Random(f"{self.seed}:{attempt}:{token}")
+            raw *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return min(raw, self.backoff_max)
+
+
+def classify_error(exc: BaseException) -> str:
+    """Classify ``exc`` as :data:`TRANSIENT` or :data:`DETERMINISTIC`.
+
+    Transient errors are infrastructure failures a retry can plausibly
+    outlive: a worker process dying, the OS refusing a write, sqlite
+    reporting a busy/locked/full condition.  Everything else — assertion
+    failures, value errors, any bug in task code — is deterministic: the
+    same inputs will fail the same way, so retrying wastes the budget.
+    """
+    if isinstance(exc, WorkerCrashError):
+        return TRANSIENT
+    if isinstance(exc, (ConnectionError, TimeoutError)):
+        return TRANSIENT
+    if isinstance(exc, OSError):
+        return TRANSIENT
+    if isinstance(exc, sqlite3.OperationalError):
+        return TRANSIENT
+    return DETERMINISTIC
+
+
+def is_transient_error(exc: BaseException) -> bool:
+    return classify_error(exc) == TRANSIENT
+
+
+def call_with_retry(
+    func: Callable[[], T],
+    policy: RetryPolicy,
+    *,
+    token: Any = 0,
+    classify: Callable[[BaseException], str] = classify_error,
+    sleep: Callable[[float], None] = time.sleep,
+    on_retry: Optional[Callable[[int, BaseException, float], None]] = None,
+) -> T:
+    """Call ``func`` under ``policy``, retrying transient failures.
+
+    Deterministic errors propagate immediately; transient errors are
+    retried with the policy's seeded backoff until the attempt budget is
+    spent, after which the last error propagates.  ``on_retry(attempt,
+    error, delay)`` fires before each backoff sleep.
+    """
+    last_error: Optional[BaseException] = None
+    for attempt in range(1, policy.max_attempts + 1):
+        try:
+            return func()
+        except Exception as exc:  # noqa: BLE001 - classification decides
+            if classify(exc) != TRANSIENT or attempt == policy.max_attempts:
+                raise
+            last_error = exc
+            delay = policy.backoff(attempt, token)
+            if on_retry is not None:
+                on_retry(attempt, exc, delay)
+            if delay > 0:
+                sleep(delay)
+    raise last_error if last_error is not None else RuntimeError("unreachable")

@@ -1,0 +1,292 @@
+"""Parent-side supervised dispatch: detect dead workers, retry, quarantine.
+
+``multiprocessing.Pool`` has a well-known pathology: when a worker is
+killed (``kill -9``, OOM, a segfaulting extension) the pool quietly
+replaces the *process*, but the task the worker was executing is lost —
+its result never arrives, and a bare ``imap_unordered`` loop blocks on it
+forever.  :class:`Supervisor` replaces that loop with a windowed
+``apply_async`` dispatch the parent can observe:
+
+* **detection** — each poll compares the pool's worker pid set against a
+  snapshot (a vanished or replaced pid means a worker died) and checks
+  every in-flight task against a per-task deadline (a hung worker never
+  churns a pid, only the deadline catches it);
+* **recovery** — on a detected fault the pool is respawned and every
+  unharvested in-flight task is re-dispatched under the
+  :class:`~repro.resilience.retry.RetryPolicy`, with seeded backoff;
+* **attribution** — retried tasks run in *isolation* (one in flight at a
+  time), so when a crash recurs it is attributed to exactly one task; a
+  task that keeps killing its worker is yielded as a typed
+  :class:`PoisonRecord` after its attempt budget instead of aborting the
+  sweep.
+
+Because tasks are pure functions of their items, a re-dispatched task
+reproduces the same bytes, and completion-order jitter is absorbed by the
+caller's reorder buffer — supervision is invisible to result content.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from .faults import FaultState, apply_worker_fault
+from .retry import RetryPolicy
+
+_POLL_INTERVAL = 0.02
+"""Default seconds between supervision polls while tasks are in flight."""
+
+SUPERVISION_GRACE = 5.0
+"""Seconds added to a runner's per-run timeout to form the parent-side
+deadline: the worker's own ``SIGALRM`` should fire first and return a
+timeout record; only a worker too wedged to do even that (or killed
+outright) trips the supervisor."""
+
+
+@dataclass(frozen=True)
+class PoisonRecord:
+    """A task quarantined for repeatedly killing its worker.
+
+    Yielded by :meth:`Supervisor.map_unordered` in place of the task's
+    result.  ``index`` is the task's slot in the dispatched sequence,
+    ``attempts`` how many dispatches it consumed, ``reason`` the last
+    detected fault.
+    """
+
+    index: int
+    attempts: int
+    reason: str
+
+
+@dataclass
+class SupervisionStats:
+    """Counters a supervised dispatch accumulates (exposed for tests/reports)."""
+
+    dispatched: int = 0
+    crashes_detected: int = 0
+    respawns: int = 0
+    retries: int = 0
+    quarantined: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "dispatched": self.dispatched,
+            "crashes_detected": self.crashes_detected,
+            "respawns": self.respawns,
+            "retries": self.retries,
+            "quarantined": self.quarantined,
+        }
+
+
+def _supervised_invoke(
+    worker: Any, fault: Optional[str], hang_seconds: float, indexed_item: Tuple[int, Any]
+) -> Any:
+    """Worker entry: apply any injected fault, then run the real task.
+
+    Top-level and import-light so it pickles into spawned workers; the
+    fault tag is computed parent-side (deterministically, from the
+    :class:`~repro.resilience.faults.FaultPlan`) and travels with the
+    dispatch.
+    """
+    apply_worker_fault(fault, hang_seconds)
+    return worker(indexed_item)
+
+
+@dataclass
+class _Task:
+    """Parent-side state for one dispatched slot."""
+
+    index: int
+    item: Any
+    attempts: int = 0
+    eligible_at: float = 0.0
+
+
+class Supervisor:
+    """Supervises one runner's parallel dispatch (see module docstring).
+
+    Args:
+        runner: The owning :class:`~repro.experiments.runner.Runner`; the
+            supervisor uses its pool lifecycle (``_ensure_pool``/``close``)
+            to respawn workers after a detected fault.
+        policy: Retry budget and backoff schedule for re-dispatched tasks.
+        fault_state: Deterministic fault bookkeeping (may wrap ``plan=None``,
+            in which case no faults are ever injected — detection and
+            recovery still run, they just never trigger).
+        deadline: Optional per-task wall-clock ceiling (seconds from
+            dispatch) after which an in-flight task is presumed lost to a
+            hung worker.  ``None`` disables deadline detection (pid churn
+            still catches outright deaths).
+        stats: Counters to accumulate into (the runner shares one across
+            all its dispatches).
+        on_log: Optional sink for supervision log lines.
+        poll_interval: Seconds between health polls.
+    """
+
+    def __init__(
+        self,
+        runner: Any,
+        policy: RetryPolicy,
+        fault_state: FaultState,
+        *,
+        deadline: Optional[float] = None,
+        stats: Optional[SupervisionStats] = None,
+        on_log: Optional[Callable[[str], None]] = None,
+        poll_interval: float = _POLL_INTERVAL,
+    ) -> None:
+        self._runner = runner
+        self._policy = policy
+        self._faults = fault_state
+        self._deadline = deadline
+        self.stats = stats if stats is not None else SupervisionStats()
+        self._on_log = on_log
+        self._poll_interval = poll_interval
+        self._call = fault_state.begin_call()
+        self._pids: Optional[frozenset] = None
+        # index -> (async_result, dispatched_at); insertion order is dispatch order
+        self._outstanding: Dict[int, Tuple[Any, float, _Task]] = {}
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _log(self, message: str) -> None:
+        if self._on_log is not None:
+            self._on_log(message)
+
+    @staticmethod
+    def _worker_pids(pool: Any) -> Optional[frozenset]:
+        workers = getattr(pool, "_pool", None)
+        if workers is None:  # private API drifted; fall back to deadline-only
+            return None
+        try:
+            return frozenset(worker.pid for worker in workers)
+        except Exception:
+            return None
+
+    @staticmethod
+    def _worker_died(pool: Any) -> bool:
+        workers = getattr(pool, "_pool", None)
+        if workers is None:
+            return False
+        try:
+            return any(worker.exitcode is not None for worker in workers)
+        except Exception:
+            return False
+
+    def _window(self) -> int:
+        workers = self._runner.parallel or 1
+        return max(1, workers * 2)
+
+    def _can_dispatch(self, task: _Task, now: float) -> bool:
+        if task.eligible_at > now:
+            return False
+        if task.attempts > 0:
+            # Isolation: a retried task runs alone so a recurring crash is
+            # attributed to it and only it.
+            return not self._outstanding
+        if any(entry[2].attempts > 0 for entry in self._outstanding.values()):
+            return False
+        return len(self._outstanding) < self._window()
+
+    def _detect_fault(self, pool: Any, now: float) -> Optional[str]:
+        if self._worker_died(pool):
+            return "a pool worker died mid-task"
+        pids = self._worker_pids(pool)
+        if self._pids is not None and pids is not None and pids != self._pids:
+            return "pool worker pids churned (a worker died and was replaced)"
+        if self._deadline is not None:
+            for index, (_result, started, _task) in self._outstanding.items():
+                if now - started > self._deadline:
+                    return (
+                        f"task {index} exceeded the {self._deadline:.1f}s "
+                        "supervision deadline (worker presumed hung)"
+                    )
+        return None
+
+    def _recover(self, reason: str, queue: Deque[_Task]) -> List[Tuple[int, PoisonRecord]]:
+        """Respawn the pool; requeue or quarantine every unharvested task."""
+        self.stats.crashes_detected += 1
+        lost = [entry[2] for entry in self._outstanding.values()]
+        self._outstanding.clear()
+        self._log(
+            f"supervisor: {reason}; respawning the pool and "
+            f"re-dispatching {len(lost)} in-flight task(s)"
+        )
+        self._runner.close()
+        self._pids = None
+        self.stats.respawns += 1
+        poisoned: List[Tuple[int, PoisonRecord]] = []
+        now = time.monotonic()
+        for task in reversed(lost):  # appendleft keeps original dispatch order
+            if task.attempts >= self._policy.max_attempts:
+                self.stats.quarantined += 1
+                self._log(
+                    f"supervisor: quarantining task {task.index} as poison "
+                    f"after {task.attempts} attempt(s)"
+                )
+                poisoned.append(
+                    (task.index, PoisonRecord(index=task.index, attempts=task.attempts, reason=reason))
+                )
+            else:
+                self.stats.retries += 1
+                task.eligible_at = now + self._policy.backoff(task.attempts, token=task.index)
+                queue.appendleft(task)
+        return poisoned
+
+    # ------------------------------------------------------------------
+    # The dispatch loop
+    # ------------------------------------------------------------------
+    def map_unordered(
+        self, worker: Any, indexed_items: Iterable[Tuple[int, Any]]
+    ) -> Iterator[Tuple[int, Any]]:
+        """Yield ``worker((index, item))`` results in completion order.
+
+        ``worker`` must return ``(index, result)`` (the runner's indexed
+        worker contract).  A quarantined task yields
+        ``(index, PoisonRecord)`` instead; the caller decides whether that
+        aborts the sweep or becomes a typed poison result.
+        """
+        queue: Deque[_Task] = deque(_Task(index=index, item=item) for index, item in indexed_items)
+        hang_seconds = self._faults.plan.hang_seconds if self._faults.plan else 0.0
+        while queue or self._outstanding:
+            now = time.monotonic()
+            # Dispatch from the front while the window (or isolation) allows.
+            while queue and self._can_dispatch(queue[0], now):
+                task = queue.popleft()
+                pool = self._runner._ensure_pool()
+                if self._pids is None:
+                    self._pids = self._worker_pids(pool)
+                task.attempts += 1
+                self.stats.dispatched += 1
+                fault = self._faults.worker_fault((self._call, task.index), task.attempts)
+                async_result = pool.apply_async(
+                    _supervised_invoke, (worker, fault, hang_seconds, (task.index, task.item))
+                )
+                self._outstanding[task.index] = (async_result, time.monotonic(), task)
+            # Harvest everything that completed.
+            completed = [
+                index for index, (result, _s, _t) in self._outstanding.items() if result.ready()
+            ]
+            if completed:
+                for index in completed:
+                    async_result, _started, _task = self._outstanding.pop(index)
+                    # .get() re-raises an exception the task itself raised —
+                    # that is a task failure, not a worker fault, and it
+                    # propagates exactly as it did under imap_unordered.
+                    yield async_result.get()
+                continue
+            if not self._outstanding:
+                # Nothing in flight: the front task is backing off.
+                if queue:
+                    time.sleep(max(0.0, min(self._poll_interval, queue[0].eligible_at - now)))
+                continue
+            pool = self._runner._ensure_pool()
+            fault_reason = self._detect_fault(pool, now)
+            if fault_reason is not None:
+                for poisoned in self._recover(fault_reason, queue):
+                    yield poisoned
+                continue
+            # Block briefly on one in-flight result (wakes early on completion).
+            next(iter(self._outstanding.values()))[0].wait(self._poll_interval)

@@ -47,9 +47,11 @@ from .query import (
 from .store import (
     STORE_FORMAT_VERSION,
     CorpusRecord,
+    PoisonEntry,
     RunStore,
     StoreFlushError,
     StoreFormatError,
+    StoreRecovery,
     StoreStats,
     is_run_store,
 )
@@ -61,9 +63,11 @@ __all__ = [
     "STORE_FORMAT_VERSION",
     "CorpusRecord",
     "EmptySliceError",
+    "PoisonEntry",
     "RunStore",
     "StoreFlushError",
     "StoreFormatError",
+    "StoreRecovery",
     "StoreStats",
     "analysis_code_fingerprint",
     "canonical_form",

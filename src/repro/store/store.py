@@ -39,14 +39,18 @@ but not verdicts, and vice versa.
 from __future__ import annotations
 
 import json
+import os
 import pathlib
 import sqlite3
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
-from ..experiments.runner import TIMEOUT_ERROR_PREFIX, RunResult
+from ..experiments.runner import POISON_ERROR_PREFIX, TIMEOUT_ERROR_PREFIX, RunResult
 from ..experiments.scenario import ScenarioSpec
+from ..resilience.faults import FaultPlan, FaultState
+from ..resilience.retry import RetryPolicy
 from .fingerprint import analysis_code_fingerprint, code_fingerprint, scenario_fingerprint
 
 STORE_FORMAT_VERSION = 1
@@ -95,7 +99,46 @@ CREATE TABLE IF NOT EXISTS corpus (
     PRIMARY KEY (entry_fp, code_fp)
 );
 CREATE INDEX IF NOT EXISTS corpus_by_scenario ON corpus (scenario, code_fp);
+CREATE TABLE IF NOT EXISTS poison (
+    scenario_fp TEXT    NOT NULL,
+    seed        INTEGER NOT NULL,
+    code_fp     TEXT    NOT NULL,
+    scenario    TEXT    NOT NULL,
+    attempts    INTEGER NOT NULL,
+    reason      TEXT    NOT NULL,
+    PRIMARY KEY (scenario_fp, seed, code_fp)
+);
 """
+
+_INSERTS: Dict[str, Tuple[str, int]] = {
+    "runs": (
+        "INSERT OR REPLACE INTO runs "
+        "(scenario_fp, seed, code_fp, scenario, protocol, adversary, delay, n, t, ok, result_json) "
+        "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+        11,
+    ),
+    "verdicts": (
+        "INSERT OR REPLACE INTO verdicts "
+        "(task_fp, code_fp, label, family, n, t, solvable, verdict_json) "
+        "VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+        8,
+    ),
+    "corpus": (
+        "INSERT OR REPLACE INTO corpus "
+        "(entry_fp, code_fp, scenario, seed, novel, violation, score, entry_json) "
+        "VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+        8,
+    ),
+    "poison": (
+        "INSERT OR REPLACE INTO poison "
+        "(scenario_fp, seed, code_fp, scenario, attempts, reason) "
+        "VALUES (?, ?, ?, ?, ?, ?)",
+        6,
+    ),
+}
+# One insert statement (and column count) per table: shared by the batched
+# flush, the disk-full JSONL journal spill, its replay on reopen, and the
+# best-effort row salvage out of a quarantined corrupt store.
 
 _Key = Tuple[str, int, str]
 
@@ -152,6 +195,31 @@ class CorpusRecord:
         )
 
 
+@dataclass(frozen=True)
+class PoisonEntry:
+    """One quarantined task: a ``(scenario, seed)`` that kept killing workers.
+
+    Persisted in the ``poison`` table so a resumed campaign knows which
+    runs were given up on (and why) — they are *not* run records: a poison
+    verdict is a host condition, so the pair stays a cache miss and a
+    healthier host will simply re-execute it.
+    """
+
+    scenario: str
+    seed: int
+    attempts: int
+    reason: str
+
+
+@dataclass(frozen=True)
+class StoreRecovery:
+    """What corrupt-store recovery did on open (see :class:`RunStore`)."""
+
+    quarantined_path: str
+    salvaged_rows: int
+    reason: str
+
+
 @dataclass
 class StoreStats:
     """Counters for one store session (reset when the store is opened).
@@ -171,6 +239,8 @@ class StoreStats:
     corpus_hits: int = 0
     corpus_misses: int = 0
     corpus_stored: int = 0
+    poison_stored: int = 0
+    flush_retries: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -183,6 +253,8 @@ class StoreStats:
             "corpus_hits": self.corpus_hits,
             "corpus_misses": self.corpus_misses,
             "corpus_stored": self.corpus_stored,
+            "poison_stored": self.poison_stored,
+            "flush_retries": self.flush_retries,
         }
 
 
@@ -191,13 +263,47 @@ class StoreFormatError(RuntimeError):
 
 
 class StoreFlushError(RuntimeError):
-    """The final flush on close failed; the pending records were NOT persisted.
+    """Flushing failed even after the bounded retry; nothing was dropped.
 
-    The store stays open (the connection is kept) so the caller can retry
+    Raised by :meth:`RunStore.close` only once the retry budget is spent
+    *and* the records could not be spilled to the JSONL side-journal.  The
+    store stays open (the connection is kept) so the caller can retry
     :meth:`RunStore.flush` or inspect :attr:`RunStore.pending_count` — a
     close that silently dropped buffered results would let an interrupted
     sweep masquerade as fully persisted.
     """
+
+
+class _StoreCorruption(StoreFormatError):
+    """Internal marker: the file is a run store, but its content is corrupt.
+
+    Subclasses :class:`StoreFormatError` so that, should recovery itself
+    fail and the error escape, callers still see the public type.
+    """
+
+
+_CORRUPTION_MARKERS = ("malformed", "corrupt", "not a database", "disk image")
+
+
+def _looks_corrupt(exc: sqlite3.Error) -> bool:
+    message = str(exc).lower()
+    return any(marker in message for marker in _CORRUPTION_MARKERS)
+
+
+def _spillworthy(exc: BaseException) -> bool:
+    """Whether a flush failure is the disk-full family the journal can absorb.
+
+    Only environmental write failures degrade to the side-journal: an
+    ``OSError`` or an sqlite disk/I-O complaint.  Anything else (a schema
+    problem, a programming error) would just replay into the same failure,
+    so it surfaces as :class:`StoreFlushError` instead.
+    """
+    if isinstance(exc, OSError):
+        return True
+    if isinstance(exc, sqlite3.OperationalError):
+        message = str(exc).lower()
+        return "disk" in message or "i/o" in message or "readonly" in message
+    return False
 
 
 class RunStore:
@@ -212,6 +318,31 @@ class RunStore:
         cache_size: Entries held by the in-memory read LRU.
         analysis_code_fp: Override the analysis code fingerprint (same
             testing escape hatch, for the ``verdicts`` table).
+        retry_policy: Bounds and paces flush retries (on :meth:`close` and
+            :meth:`flush_retrying`); defaults to
+            :class:`~repro.resilience.retry.RetryPolicy`'s defaults.
+        fault_plan: Deterministic fault injection for chaos tests (flush
+            failures, corrupt-on-reopen); defaults to the plan in the
+            ``REPRO_FAULT_PLAN`` environment variable, else none.
+
+    Opening is resilient:
+
+    * the file's integrity is verified (``PRAGMA quick_check``); a corrupt
+      store — valid SQLite header, damaged content — is renamed to a
+      ``.corrupt`` quarantine file, a fresh store is built, and every row
+      that survives in the quarantined file is salvaged into it (recorded
+      in :attr:`recovery`).  A file that was never SQLite still raises
+      :class:`StoreFormatError` — that is a caller mistake, not damage;
+    * a JSONL side-journal left behind by a disk-full :meth:`close` (see
+      below) is replayed into the store and deleted (counted in
+      :attr:`journal_replayed`).
+
+    Closing is resilient too: the final flush is retried under
+    ``retry_policy``; if every attempt fails with a disk-full-family error,
+    the pending rows are spilled to the side-journal (``<path>.journal.jsonl``)
+    so the data survives for the next open.  Only when even the spill fails
+    does :meth:`close` raise :class:`StoreFlushError` and keep the
+    connection for a caller-driven retry.
     """
 
     def __init__(
@@ -221,6 +352,8 @@ class RunStore:
         batch_size: int = 128,
         cache_size: int = 4096,
         analysis_code_fp: Optional[str] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ):
         if batch_size < 1:
             raise ValueError("batch_size must be at least 1")
@@ -231,36 +364,89 @@ class RunStore:
         )
         self.batch_size = batch_size
         self.cache_size = cache_size
+        if fault_plan is None:
+            fault_plan = FaultPlan.from_env()
+        self.retry_policy = (
+            retry_policy
+            if retry_policy is not None
+            else RetryPolicy(seed=fault_plan.seed if fault_plan is not None else 0)
+        )
+        self._fault_state = FaultState(plan=fault_plan)
         self.stats = StoreStats()
+        self.recovery: Optional[StoreRecovery] = None
+        self.journal_replayed = 0
         self._pending: Dict[_Key, Tuple[ScenarioSpec, RunResult]] = {}
         self._pending_verdicts: Dict[Tuple[str, str], Tuple[Any, Any]] = {}
         self._pending_corpus: Dict[Tuple[str, str], CorpusRecord] = {}
+        self._pending_poison: Dict[_Key, Tuple[str, int, int, str]] = {}
         self._corpus_cache: Dict[Tuple[str, str], CorpusRecord] = {}
         self._verdict_cache: Dict[Tuple[str, str], Any] = {}
         self._lru: "OrderedDict[_Key, RunResult]" = OrderedDict()
         self._fp_cache: Dict[ScenarioSpec, str] = {}
         self._conn: Optional[sqlite3.Connection] = None
+        if fault_plan is not None and fault_plan.corrupt_on_reopen:
+            _inject_corruption(self.path)
         try:
-            self._conn = sqlite3.connect(str(self.path))
-            self._conn.execute("PRAGMA journal_mode=WAL")
-            self._conn.execute("PRAGMA synchronous=NORMAL")
-            self._conn.execute("PRAGMA busy_timeout=30000")
-            self._conn.executescript(_SCHEMA)
-            self._check_format()
-            self._conn.commit()
-        except sqlite3.Error as exc:
-            if self._conn is not None:
-                self._conn.close()
-                self._conn = None
-            raise StoreFormatError(f"cannot open run store {self.path}: {exc}") from exc
+            self._conn = self._open_verified()
+        except _StoreCorruption as exc:
+            quarantined = self._quarantine_corrupt_file()
+            self._conn = self._open_verified()
+            salvaged = self._salvage_rows(quarantined)
+            self.recovery = StoreRecovery(
+                quarantined_path=str(quarantined), salvaged_rows=salvaged, reason=str(exc)
+            )
+        self.journal_replayed = self._replay_journal()
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
-    def _check_format(self) -> None:
-        row = self._conn.execute("SELECT value FROM meta WHERE key='format_version'").fetchone()
+    @property
+    def journal_path(self) -> pathlib.Path:
+        """The JSONL side-journal (disk-full spill target, replayed on open)."""
+        return pathlib.Path(str(self.path) + ".journal.jsonl")
+
+    def _open_verified(self) -> sqlite3.Connection:
+        """Connect, verify integrity, ensure the schema, check the format.
+
+        Raises :class:`_StoreCorruption` when the file carries a valid
+        SQLite header but its content fails verification — the signal the
+        constructor turns into quarantine-and-rebuild — and plain
+        :class:`StoreFormatError` for everything else (not SQLite at all,
+        unopenable path, format-version mismatch).
+        """
+        try:
+            conn = sqlite3.connect(str(self.path))
+        except sqlite3.Error as exc:
+            raise StoreFormatError(f"cannot open run store {self.path}: {exc}") from exc
+        try:
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.execute("PRAGMA synchronous=NORMAL")
+            conn.execute("PRAGMA busy_timeout=30000")
+            row = conn.execute("PRAGMA quick_check(1)").fetchone()
+            if row is None or row[0] != "ok":
+                raise _StoreCorruption(
+                    f"run store {self.path} failed its integrity check: "
+                    f"{row[0] if row else 'no result'}"
+                )
+            conn.executescript(_SCHEMA)
+            self._check_format(conn)
+            conn.commit()
+            return conn
+        except _StoreCorruption:
+            conn.close()
+            raise
+        except sqlite3.Error as exc:
+            conn.close()
+            if _looks_corrupt(exc) and is_run_store(self.path):
+                raise _StoreCorruption(
+                    f"run store {self.path} is corrupt: {exc}"
+                ) from exc
+            raise StoreFormatError(f"cannot open run store {self.path}: {exc}") from exc
+
+    def _check_format(self, conn: sqlite3.Connection) -> None:
+        row = conn.execute("SELECT value FROM meta WHERE key='format_version'").fetchone()
         if row is None:
-            self._conn.execute(
+            conn.execute(
                 "INSERT INTO meta (key, value) VALUES ('format_version', ?)",
                 (str(STORE_FORMAT_VERSION),),
             )
@@ -269,30 +455,168 @@ class RunStore:
                 f"store format_version {row[0]!r}, this code reads {STORE_FORMAT_VERSION!r}"
             )
 
+    def _quarantine_corrupt_file(self) -> pathlib.Path:
+        """Move the corrupt store (and its WAL droppings) out of the way."""
+        quarantined = pathlib.Path(str(self.path) + ".corrupt")
+        counter = 1
+        while quarantined.exists():
+            quarantined = pathlib.Path(f"{self.path}.corrupt.{counter}")
+            counter += 1
+        os.replace(self.path, quarantined)
+        for suffix in ("-wal", "-shm"):
+            sidecar = pathlib.Path(str(self.path) + suffix)
+            if sidecar.exists():
+                os.replace(sidecar, pathlib.Path(str(quarantined) + suffix))
+        return quarantined
+
+    def _salvage_rows(self, quarantined: pathlib.Path) -> int:
+        """Copy every readable row from the quarantined file into the fresh store.
+
+        Best effort by design: a corrupt database may yield all, some, or
+        none of its rows — whatever sqlite can still read is preserved,
+        and the quarantined file is kept on disk for manual inspection.
+        """
+        try:
+            source = sqlite3.connect(f"file:{quarantined}?mode=ro", uri=True)
+        except sqlite3.Error:
+            return 0
+        salvaged = 0
+        try:
+            for table, (insert_sql, columns) in _INSERTS.items():
+                try:
+                    rows = source.execute(f"SELECT * FROM {table}").fetchall()
+                except sqlite3.Error:
+                    continue
+                good = [row for row in rows if len(row) == columns]
+                if good:
+                    self._conn.executemany(insert_sql.replace("OR REPLACE", "OR IGNORE"), good)
+                    salvaged += len(good)
+            self._conn.commit()
+        except sqlite3.Error:
+            pass
+        finally:
+            source.close()
+        return salvaged
+
+    def _replay_journal(self) -> int:
+        """Replay (then delete) the JSONL side-journal a degraded close left.
+
+        Rows were journalled in their table-row form, so replay is the same
+        idempotent ``INSERT OR REPLACE`` a flush would have issued.
+        Unparseable lines are skipped rather than blocking the open — the
+        journal was written while the disk was failing.
+        """
+        journal = self.journal_path
+        try:
+            text = journal.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            return 0
+        except OSError:
+            return 0
+        replayed = 0
+        by_table: Dict[str, List[Tuple]] = {}
+        for line in text.splitlines():
+            if not line.strip():
+                continue
+            try:
+                entry = json.loads(line)
+                table, row = entry["table"], tuple(entry["row"])
+            except (json.JSONDecodeError, KeyError, TypeError):
+                continue
+            if table in _INSERTS and len(row) == _INSERTS[table][1]:
+                by_table.setdefault(table, []).append(row)
+        for table, rows in by_table.items():
+            try:
+                self._conn.executemany(_INSERTS[table][0], rows)
+                replayed += len(rows)
+            except sqlite3.Error:
+                continue
+        self._conn.commit()
+        try:
+            journal.unlink()
+        except OSError:
+            pass
+        return replayed
+
     @property
     def pending_count(self) -> int:
-        """Buffered records (runs + verdicts + corpus entries) not yet committed."""
-        return len(self._pending) + len(self._pending_verdicts) + len(self._pending_corpus)
+        """Buffered records (runs + verdicts + corpus + poison) not yet committed."""
+        return (
+            len(self._pending)
+            + len(self._pending_verdicts)
+            + len(self._pending_corpus)
+            + len(self._pending_poison)
+        )
+
+    def flush_retrying(self, raise_on_failure: bool = True) -> bool:
+        """Flush with the bounded retry of :attr:`retry_policy`.
+
+        Returns True when everything committed.  On total failure, raises
+        :class:`StoreFlushError` (default) or returns False — the pending
+        records stay buffered either way.  This is the flush the executor's
+        error paths use: salvaging completed records is best-effort there,
+        and a second failure must not mask the original job error.
+        """
+        policy = self.retry_policy
+        last_error: Optional[BaseException] = None
+        for attempt in range(1, policy.max_attempts + 1):
+            try:
+                self.flush()
+                return True
+            except (sqlite3.Error, OSError) as exc:
+                last_error = exc
+                if attempt == policy.max_attempts:
+                    break
+                self.stats.flush_retries += 1
+                time.sleep(policy.backoff(attempt, token="flush"))
+        if raise_on_failure:
+            raise StoreFlushError(
+                f"run store {self.path} failed to flush {self.pending_count} pending "
+                f"record(s) after {policy.max_attempts} attempt(s): {last_error}"
+            ) from last_error
+        return False
 
     def close(self) -> None:
-        """Flush pending writes and release the connection (idempotent).
+        """Flush pending writes (with retry) and release the connection.
 
-        The store is only marked closed once the final flush has committed:
-        if the flush fails, a :class:`StoreFlushError` is raised, the
-        connection is kept, and the buffered records stay pending — the
-        caller can retry :meth:`flush` (or accept the loss explicitly) rather
-        than discovering much later that the tail of a sweep evaporated.
+        Idempotent.  The final flush is retried under :attr:`retry_policy`
+        with seeded backoff.  If every attempt fails with a disk-full-family
+        error, the pending rows are spilled to the JSONL side-journal and
+        the close still succeeds — the records are replayed into the store
+        on its next open.  Only when the spill fails too (or the failure is
+        not environmental, e.g. a schema problem) does close raise
+        :class:`StoreFlushError`, keep the connection, and leave the records
+        pending for a caller-driven retry.
         """
         conn = self._conn
         if conn is None:
             return
-        try:
-            self._flush_into(conn)
-        except sqlite3.Error as exc:
-            raise StoreFlushError(
-                f"run store {self.path} failed to flush {self.pending_count} pending "
-                f"record(s) on close: {exc}"
-            ) from exc
+        policy = self.retry_policy
+        last_error: Optional[BaseException] = None
+        for attempt in range(1, policy.max_attempts + 1):
+            try:
+                self._flush_into(conn)
+                last_error = None
+                break
+            except (sqlite3.Error, OSError) as exc:
+                last_error = exc
+                if attempt < policy.max_attempts:
+                    self.stats.flush_retries += 1
+                    time.sleep(policy.backoff(attempt, token="close"))
+        if last_error is not None:
+            if not _spillworthy(last_error):
+                raise StoreFlushError(
+                    f"run store {self.path} failed to flush {self.pending_count} pending "
+                    f"record(s) after {policy.max_attempts} attempt(s): {last_error}"
+                ) from last_error
+            try:
+                self._spill_to_journal()
+            except OSError as spill_error:
+                raise StoreFlushError(
+                    f"run store {self.path} failed to flush {self.pending_count} pending "
+                    f"record(s) after {policy.max_attempts} attempt(s) ({last_error}); "
+                    f"the journal spill failed too: {spill_error}"
+                ) from last_error
         self._conn = None
         conn.close()
 
@@ -378,14 +702,20 @@ class RunStore:
         Wall-clock timeout records are skipped: they are host conditions,
         not functions of the content key, and must be recomputed next time.
         """
-        if result.error is not None and result.error.startswith(TIMEOUT_ERROR_PREFIX):
+        if result.error is not None and result.error.startswith(
+            (TIMEOUT_ERROR_PREFIX, POISON_ERROR_PREFIX)
+        ):
+            # Timeouts and poison quarantines are host conditions, not
+            # functions of the content key; persisting them would freeze a
+            # transient condition as truth.  (Poison verdicts are recorded
+            # separately, via put_poison.)
             return False
         key = self.key(spec, result.seed)
         self._pending[key] = (spec, result)
         self._lru_put(key, result)
         self.stats.stored += 1
         if len(self._pending) >= self.batch_size:
-            self.flush()
+            self.flush_retrying(raise_on_failure=False)
         return True
 
     def put_many(self, pairs: Sequence[Tuple[ScenarioSpec, RunResult]]) -> int:
@@ -395,11 +725,11 @@ class RunStore:
         """Write every buffered record in one transaction."""
         self._flush_into(self._connection())
 
-    def _flush_into(self, conn: sqlite3.Connection) -> None:
-        if not self._pending and not self._pending_verdicts and not self._pending_corpus:
-            return
+    def _pending_rows(self) -> Dict[str, List[Tuple]]:
+        """The buffered records as table rows (shared by flush/spill/journal)."""
+        rows: Dict[str, List[Tuple]] = {}
         if self._pending:
-            rows = [
+            rows["runs"] = [
                 (
                     key[0],
                     key[1],
@@ -415,14 +745,8 @@ class RunStore:
                 )
                 for key, (spec, result) in self._pending.items()
             ]
-            conn.executemany(
-                "INSERT OR REPLACE INTO runs "
-                "(scenario_fp, seed, code_fp, scenario, protocol, adversary, delay, n, t, ok, result_json) "
-                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
-                rows,
-            )
         if self._pending_verdicts:
-            verdict_rows = [
+            rows["verdicts"] = [
                 (
                     key[0],
                     key[1],
@@ -435,14 +759,8 @@ class RunStore:
                 )
                 for key, (_task, verdict) in self._pending_verdicts.items()
             ]
-            conn.executemany(
-                "INSERT OR REPLACE INTO verdicts "
-                "(task_fp, code_fp, label, family, n, t, solvable, verdict_json) "
-                "VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
-                verdict_rows,
-            )
         if self._pending_corpus:
-            corpus_rows = [
+            rows["corpus"] = [
                 (
                     key[0],
                     key[1],
@@ -455,16 +773,81 @@ class RunStore:
                 )
                 for key, record in self._pending_corpus.items()
             ]
-            conn.executemany(
-                "INSERT OR REPLACE INTO corpus "
-                "(entry_fp, code_fp, scenario, seed, novel, violation, score, entry_json) "
-                "VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
-                corpus_rows,
-            )
-        conn.commit()
+        if self._pending_poison:
+            rows["poison"] = [
+                (key[0], key[1], key[2], scenario, attempts, reason)
+                for key, (scenario, _seed, attempts, reason) in self._pending_poison.items()
+            ]
+        return rows
+
+    def _clear_pending(self) -> None:
         self._pending.clear()
         self._pending_verdicts.clear()
         self._pending_corpus.clear()
+        self._pending_poison.clear()
+
+    def _flush_into(self, conn: sqlite3.Connection) -> None:
+        rows_by_table = self._pending_rows()
+        if not rows_by_table:
+            return
+        if self._fault_state.next_flush_fails():
+            # Counted per flush *with pending rows*, so a plan's "fail
+            # attempt 2" means the second real write, deterministically.
+            raise OSError(28, "injected flush failure (REPRO_FAULT_PLAN)")
+        for table, rows in rows_by_table.items():
+            conn.executemany(_INSERTS[table][0], rows)
+        conn.commit()
+        self._clear_pending()
+
+    def _spill_to_journal(self) -> int:
+        """Append every pending record to the JSONL side-journal.
+
+        The disk-full degradation: when the database itself cannot accept
+        the rows, their table-row form is appended to ``<path>.journal.jsonl``
+        (a plain-text append needs far less free space and no sqlite
+        machinery) and replayed by the next open.  Returns rows spilled.
+        """
+        rows_by_table = self._pending_rows()
+        if not rows_by_table:
+            return 0
+        spilled = 0
+        with open(self.journal_path, "a", encoding="utf-8") as handle:
+            for table, rows in rows_by_table.items():
+                for row in rows:
+                    handle.write(json.dumps({"table": table, "row": list(row)}) + "\n")
+                    spilled += 1
+            handle.flush()
+            os.fsync(handle.fileno())
+        self._clear_pending()
+        return spilled
+
+    # ------------------------------------------------------------------
+    # Poison quarantine (tasks that kept killing their workers)
+    # ------------------------------------------------------------------
+    def put_poison(self, spec: ScenarioSpec, seed: int, attempts: int, reason: str) -> None:
+        """Record that ``(spec, seed)`` was quarantined as a poison task."""
+        key = self.key(spec, seed)
+        self._pending_poison[key] = (spec.name, int(seed), int(attempts), str(reason))
+        self.stats.poison_stored += 1
+        if self.pending_count >= self.batch_size:
+            self.flush_retrying(raise_on_failure=False)
+
+    def iter_poison(self) -> Iterator[PoisonEntry]:
+        """Quarantined tasks under the current code, in (scenario, seed) order."""
+        self.flush()
+        cursor = self._connection().execute(
+            "SELECT scenario, seed, attempts, reason FROM poison WHERE code_fp=? "
+            "ORDER BY scenario, seed",
+            (self.code_fp,),
+        )
+        for scenario, seed, attempts, reason in cursor:
+            yield PoisonEntry(scenario=scenario, seed=seed, attempts=attempts, reason=reason)
+
+    def count_poison(self) -> int:
+        self.flush()
+        return self._connection().execute(
+            "SELECT COUNT(*) FROM poison WHERE code_fp=?", (self.code_fp,)
+        ).fetchone()[0]
 
     # ------------------------------------------------------------------
     # Analysis verdicts (the ``analyze`` pipeline's cache)
@@ -504,7 +887,7 @@ class RunStore:
         self._verdict_cache[key] = verdict
         self.stats.verdicts_stored += 1
         if len(self._pending) + len(self._pending_verdicts) >= self.batch_size:
-            self.flush()
+            self.flush_retrying(raise_on_failure=False)
 
     def iter_verdicts(self, any_code: bool = False) -> Iterator[Any]:
         """Stored verdicts in deterministic label order.
@@ -577,7 +960,7 @@ class RunStore:
         self._corpus_cache[key] = record
         self.stats.corpus_stored += 1
         if self.pending_count >= self.batch_size:
-            self.flush()
+            self.flush_retrying(raise_on_failure=False)
 
     def iter_corpus(self, scenario: Optional[str] = None) -> Iterator[CorpusRecord]:
         """Stored corpus entries under the current code, in ``entry_fp`` order."""
@@ -705,6 +1088,7 @@ class RunStore:
             "DELETE FROM verdicts WHERE code_fp != ?", (self.analysis_code_fp,)
         ).rowcount
         removed += conn.execute("DELETE FROM corpus WHERE code_fp != ?", (self.code_fp,)).rowcount
+        removed += conn.execute("DELETE FROM poison WHERE code_fp != ?", (self.code_fp,)).rowcount
         conn.commit()
         return removed
 
@@ -716,3 +1100,27 @@ def is_run_store(path: Union[str, pathlib.Path]) -> bool:
             return handle.read(16) == b"SQLite format 3\x00"
     except OSError:
         return False
+
+
+def _inject_corruption(path: Union[str, pathlib.Path]) -> None:
+    """Scribble over a store file's interior (the corrupt-on-reopen fault).
+
+    The SQLite header magic is left intact on purpose: recovery only
+    triggers for files that *are* stores (:func:`is_run_store`), so the
+    injected damage must look like a corrupted store, not like a file that
+    was never SQLite.  No-op when the file is missing or too small to
+    damage meaningfully.
+    """
+    try:
+        size = os.path.getsize(path)
+    except OSError:
+        return
+    if size <= 512:
+        return
+    offset = max(512, size // 2)
+    length = min(256, size - offset)
+    if length <= 0:
+        return
+    with open(path, "r+b") as handle:
+        handle.seek(offset)
+        handle.write(b"\xff" * length)

@@ -1,0 +1,161 @@
+#!/usr/bin/env python3
+"""CI smoke: injected faults must not change what a sweep computes.
+
+Three gates, all end-to-end through the CLI (subprocesses, so the
+``REPRO_FAULT_PLAN`` environment wiring is what is actually exercised):
+
+1. **Chaos byte-equality** — a fixed-seed full-matrix sweep under a fault
+   plan that kills two pool workers mid-sweep and fails the first store
+   flush must leave a store byte-identical to a fault-free sweep's
+   (record-level ``canonical_json`` comparison plus the existing
+   ``compare`` path at tolerance 0).
+2. **kill -9 resume** — a sweep process killed with SIGKILL mid-flight
+   leaves a store with only the records it had flushed; re-running the
+   same sweep serves exactly those from cache and executes only the
+   missing runs, ending byte-identical to the fault-free store.
+3. Both stores carry zero quarantined (poison) tasks — transient worker
+   deaths are retried, not misattributed to innocent tasks.
+
+Exits non-zero with a diagnostic on any divergence.
+
+Run with:  python tools/chaos_smoke.py
+"""
+
+import json
+import os
+import pathlib
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.store import RunStore  # noqa: E402  (path bootstrap above)
+
+SWEEP = ["run", "--seeds", "2", "--parallel", "4", "--timeout", "120", "--quiet"]
+FAULT_PLAN = {"seed": 2023, "worker_crash": [7, 60], "flush_errors": [1]}
+
+
+def fail(message: str) -> int:
+    print(f"chaos smoke: FAIL: {message}", file=sys.stderr)
+    return 1
+
+
+def cli_env(fault_plan=None) -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(ROOT / "src")
+    env.pop("REPRO_FAULT_PLAN", None)
+    if fault_plan is not None:
+        env["REPRO_FAULT_PLAN"] = json.dumps(fault_plan)
+    return env
+
+
+def cli(*args, fault_plan=None) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, "-m", "repro.experiments", *args],
+        env=cli_env(fault_plan),
+        cwd=ROOT,
+        capture_output=True,
+        text=True,
+    )
+
+
+def _committed_rows(path: pathlib.Path) -> int:
+    """Rows another process has committed, 0 while the table is unreadable."""
+    import sqlite3
+
+    if not path.exists():
+        return 0
+    try:
+        with sqlite3.connect(f"file:{path}?mode=ro", uri=True, timeout=0.1) as conn:
+            return conn.execute("SELECT COUNT(*) FROM runs").fetchone()[0]
+    except sqlite3.Error:
+        return 0
+
+
+def store_records(path: pathlib.Path):
+    """Sorted canonical record JSON (opening runs any pending recovery)."""
+    with RunStore(path) as store:
+        poison = sum(1 for _ in store.iter_poison())
+        return sorted(r.canonical_json() for r in store.iter_records()), poison
+
+
+def smoke() -> int:
+    with tempfile.TemporaryDirectory() as tmp:
+        work = pathlib.Path(tmp)
+        clean_db, chaos_db, resume_db = work / "clean.db", work / "chaos.db", work / "resume.db"
+
+        print("chaos smoke: fault-free full-matrix sweep")
+        proc = cli(*SWEEP, "--store", str(clean_db))
+        if proc.returncode != 0:
+            return fail(f"fault-free sweep exited {proc.returncode}:\n{proc.stderr}")
+        clean, clean_poison = store_records(clean_db)
+        if not clean:
+            return fail("fault-free sweep stored no records")
+
+        print(f"chaos smoke: chaotic sweep under {json.dumps(FAULT_PLAN)}")
+        proc = cli(*SWEEP, "--store", str(chaos_db), fault_plan=FAULT_PLAN)
+        if proc.returncode != 0:
+            return fail(f"chaotic sweep exited {proc.returncode}:\n{proc.stderr}")
+        chaos, chaos_poison = store_records(chaos_db)
+        if chaos != clean:
+            return fail(
+                f"chaotic store diverged: {len(chaos)} records vs {len(clean)} fault-free"
+            )
+        if clean_poison or chaos_poison:
+            return fail(f"unexpected quarantined tasks: {clean_poison} clean, {chaos_poison} chaos")
+        proc = cli("compare", "--store", str(chaos_db), "--against", str(clean_db), "--tolerance", "0")
+        if proc.returncode != 0:
+            return fail(f"compare vs fault-free store exited {proc.returncode}:\n{proc.stderr}")
+        print(f"chaos smoke: {len(clean)} records byte-identical under injected faults")
+
+        print("chaos smoke: kill -9 a sweep mid-flight")
+        victim = subprocess.Popen(
+            [sys.executable, "-m", "repro.experiments", *SWEEP, "--store", str(resume_db)],
+            env=cli_env(),
+            cwd=ROOT,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        deadline = time.time() + 120
+        while time.time() < deadline and victim.poll() is None:
+            if _committed_rows(resume_db) > 0:
+                break
+            time.sleep(0.02)
+        if victim.poll() is None:
+            victim.send_signal(signal.SIGKILL)
+            victim.wait()
+            print("chaos smoke: sweep killed after its first committed batch")
+        else:
+            print("chaos smoke: sweep finished before the kill (fast host); resume is all-cached")
+
+        survived, _ = store_records(resume_db)
+        proc = cli(*SWEEP, "--store", str(resume_db))
+        if proc.returncode != 0:
+            return fail(f"resume sweep exited {proc.returncode}:\n{proc.stderr}")
+        match = re.search(r"(\d+) cached, (\d+) executed", proc.stdout)
+        if match is None:
+            return fail(f"resume sweep printed no cache split:\n{proc.stdout}")
+        cached, executed = int(match.group(1)), int(match.group(2))
+        if cached != len(survived) or executed != len(clean) - len(survived):
+            return fail(
+                f"resume executed the wrong slice: {cached} cached / {executed} executed, "
+                f"but {len(survived)} of {len(clean)} records survived the kill"
+            )
+        resumed, _ = store_records(resume_db)
+        if resumed != clean:
+            return fail("resumed store is not byte-identical to the fault-free store")
+        print(
+            f"chaos smoke: resume served {cached} survivors from cache and "
+            f"re-executed only the {executed} missing runs"
+        )
+    print("chaos smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(smoke())
