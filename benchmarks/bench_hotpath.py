@@ -244,6 +244,75 @@ def bench_matrix(quick: bool) -> dict:
 
 
 # ----------------------------------------------------------------------
+# 4. Telemetry overhead (on vs off)
+# ----------------------------------------------------------------------
+def bench_telemetry(quick: bool) -> dict:
+    """Telemetry-on vs telemetry-off deltas for the instrumented hot paths.
+
+    Telemetry must stay descriptive *and* cheap: the sweep comparison runs
+    the same serial matrix slice with the metrics registry disabled and
+    enabled (instrumentation sites are parent-side, so serial execution is
+    the worst case per run), and the micro sections measure the raw cost of
+    a counter increment and a trace-sink event write.
+    """
+    import os
+
+    from repro.obs import METRICS, TraceSink, set_enabled
+
+    scenarios = [make_scenario(p, a, d) for p, a, d in _MATRIX_SLICE[:4]]
+    seeds = sweep_seeds(1)
+
+    def sweep_runs_per_sec() -> float:
+        with Runner(timeout=300.0) as runner:
+            started = time.perf_counter()
+            results = runner.run(scenarios, seeds)
+            elapsed = time.perf_counter() - started
+        assert all(result.ok for result in results)
+        return len(results) / elapsed
+
+    try:
+        set_enabled(False)
+        sweep_off = sweep_runs_per_sec()
+        set_enabled(True)
+        sweep_on = sweep_runs_per_sec()
+
+        increments = 200_000 if quick else 1_000_000
+        counter = METRICS.counter("bench.telemetry.increments")
+
+        def incs_per_sec() -> float:
+            started = time.perf_counter()
+            for _ in range(increments):
+                counter.inc()
+            return increments / (time.perf_counter() - started)
+
+        counter_on = incs_per_sec()
+        set_enabled(False)
+        counter_off = incs_per_sec()
+        set_enabled(True)
+
+        trace_events = 20_000 if quick else 100_000
+        with open(os.devnull, "w", encoding="utf-8") as handle:
+            sink = TraceSink(handle)
+            started = time.perf_counter()
+            for index in range(trace_events):
+                sink.event("bench.tick", index=index)
+            trace_eps = trace_events / (time.perf_counter() - started)
+            sink.close()
+    finally:
+        set_enabled(True)
+        METRICS.reset()
+
+    return {
+        "sweep_runs_per_sec_off": round(sweep_off, 3),
+        "sweep_runs_per_sec_on": round(sweep_on, 3),
+        "sweep_overhead_fraction": round(max(0.0, 1.0 - sweep_on / sweep_off), 4),
+        "counter_inc_per_sec_on": round(counter_on, 1),
+        "counter_inc_per_sec_off": round(counter_off, 1),
+        "trace_events_per_sec": round(trace_eps, 1),
+    }
+
+
+# ----------------------------------------------------------------------
 # Harness
 # ----------------------------------------------------------------------
 def measure(quick: bool) -> dict:
@@ -252,6 +321,7 @@ def measure(quick: bool) -> dict:
         "event_core": bench_event_core(quick),
         "reed_solomon": bench_reed_solomon(quick),
         "matrix": bench_matrix(quick),
+        "telemetry": bench_telemetry(quick),
     }
 
 

@@ -39,6 +39,12 @@ Examples::
         --counterexamples out/counterexamples
     python -m repro.experiments run --spec out/counterexamples/counterexample-XYZ.json
 
+    # Telemetry is descriptive, never load-bearing: traced runs are
+    # byte-identical to untraced ones.  Render the live metrics registry or
+    # the snapshot a job persisted into the store.
+    python -m repro.experiments run --store runs.db --trace trace.jsonl --stats
+    python -m repro.experiments stats --store runs.db --json
+
 The process exits non-zero when any run errors out, violates a correctness
 property, or regresses against the baseline — which makes the command usable
 directly as a CI gate.  Exit codes: 0 success, 1 failures/regressions,
@@ -63,7 +69,7 @@ import sys
 
 from ...jobs.spec import DEFAULT_FUZZ_BASES
 from ...jobs.status import EXIT_EMPTY_SLICE, EXIT_INTERRUPTED
-from . import analyze, compare, fuzz, report, run
+from . import analyze, compare, fuzz, report, run, stats
 from .common import DEFAULT_MATRIX_BASELINE, DEFAULT_VERDICT_BASELINE
 from .listing import command_list
 from .validators import parse_seeds
@@ -100,6 +106,7 @@ def _build_parser() -> argparse.ArgumentParser:
     analyze.add_parser(subparsers)
     fuzz.add_parser(subparsers)
     compare.add_parser(subparsers)
+    stats.add_parser(subparsers)
     return parser
 
 
@@ -109,6 +116,7 @@ _COMMANDS = {
     "analyze": analyze.command_analyze,
     "fuzz": fuzz.command_fuzz,
     "compare": compare.command_compare,
+    "stats": stats.command_stats,
 }
 
 

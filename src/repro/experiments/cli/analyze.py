@@ -12,6 +12,7 @@ from ...store.store import StoreFormatError
 from .common import (
     DEFAULT_MATRIX_BASELINE,
     DEFAULT_VERDICT_BASELINE,
+    add_observability_arguments,
     add_resilience_arguments,
     fail,
 )
@@ -35,6 +36,7 @@ def add_parser(subparsers) -> None:
         "--parallel", type=positive_int, default=None, metavar="W", help="worker processes (default: serial)"
     )
     add_resilience_arguments(analyze)
+    add_observability_arguments(analyze)
     analyze.add_argument(
         "--store",
         type=pathlib.Path,
@@ -111,6 +113,7 @@ def command_analyze(args: argparse.Namespace) -> int:
             store_path=args.store,
             max_retries=args.max_retries,
             fail_fast=args.fail_fast,
+            trace_path=args.trace,
         ) as session:
             outcome = session.submit(job)
     except JobSpecError as exc:
@@ -193,4 +196,8 @@ def command_analyze(args: argparse.Namespace) -> int:
         print(f"wrote verdict baseline for {len(verdicts)} properties to {args.write_baseline}")
     if not args.quiet and args.markdown is None and exit_code == EXIT_OK and len(verdicts) <= 16:
         print(render_verdict_table(verdicts))
+    if args.stats:
+        from ...obs.registry import METRICS, render_text
+
+        print(render_text(METRICS.snapshot(), title="telemetry"))
     return exit_code

@@ -67,3 +67,26 @@ def add_resilience_arguments(parser: argparse.ArgumentParser) -> None:
         "divergent verdict, first violating fuzz batch) instead of completing "
         "the whole matrix",
     )
+
+
+def add_observability_arguments(parser: argparse.ArgumentParser) -> None:
+    """The telemetry knobs shared by ``run``, ``analyze`` and ``fuzz``.
+
+    Telemetry is descriptive, never load-bearing: enabling any of these
+    changes no record, baseline or exit code.
+    """
+    parser.add_argument(
+        "--trace",
+        type=pathlib.Path,
+        default=None,
+        metavar="FILE",
+        help="write a structured JSONL trace (job/phase spans, per-run events) "
+        "to FILE; traced runs produce byte-identical records to untraced ones",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print a metrics snapshot (dispatch/store/supervision counters and "
+        "timings) after the job finishes — the same numbers the `stats` "
+        "subcommand renders",
+    )

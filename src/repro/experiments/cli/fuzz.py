@@ -19,7 +19,7 @@ from ...jobs import (
 from ...jobs.status import EXIT_FAILURE, exit_code_for
 from ...store.store import StoreFormatError
 from ..runner import DEFAULT_SEED
-from .common import add_resilience_arguments, fail
+from .common import add_observability_arguments, add_resilience_arguments, fail
 from .validators import positive_float, positive_int
 
 
@@ -64,6 +64,7 @@ def add_parser(subparsers) -> None:
         "--timeout", type=positive_float, default=None, help="per-run wall-clock timeout in seconds"
     )
     add_resilience_arguments(fuzz)
+    add_observability_arguments(fuzz)
     fuzz.add_argument(
         "--counterexamples",
         type=pathlib.Path,
@@ -112,6 +113,7 @@ def command_fuzz(args: argparse.Namespace) -> int:
             store_path=args.store,
             max_retries=args.max_retries,
             fail_fast=args.fail_fast,
+            trace_path=args.trace,
         ) as session:
             outcome = session.submit(job, on_event=on_event)
     except StoreFormatError as exc:
@@ -166,4 +168,8 @@ def command_fuzz(args: argparse.Namespace) -> int:
     if args.json_output is not None:
         args.json_output.write_text(json.dumps(report.to_dict(), sort_keys=True, indent=2) + "\n")
         print(f"wrote campaign report to {args.json_output}")
+    if args.stats:
+        from ...obs.registry import METRICS, render_text
+
+        print(render_text(METRICS.snapshot(), title="telemetry"))
     return exit_code

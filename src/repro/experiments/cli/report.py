@@ -26,8 +26,10 @@ def add_parser(subparsers) -> None:
 
 
 def command_report(args: argparse.Namespace) -> int:
+    import json
+
     from ...store import render_markdown, render_table
-    from ..aggregate import summaries_to_json
+    from ..aggregate import summaries_to_payload
 
     if not args.store.exists():
         return fail(f"store {args.store} does not exist")
@@ -50,10 +52,31 @@ def command_report(args: argparse.Namespace) -> int:
         print(render_table(summaries))
         if outcome.stale and not args.any_code:
             print(f"(+{outcome.stale} records under older code fingerprints; --any-code includes them)")
+        if outcome.poison:
+            print(f"poison: {len(outcome.poison)} quarantined task(s) recorded in this store")
+            for entry in outcome.poison:
+                print(
+                    f"  {entry.scenario} seed={entry.seed}: "
+                    f"{entry.reason} ({entry.attempts} attempts)"
+                )
+        if outcome.supervision:
+            pairs = ", ".join(f"{key}={value}" for key, value in sorted(outcome.supervision.items()))
+            print(f"supervision (last sweep): {pairs}")
     if args.markdown is not None:
         args.markdown.write_text(render_markdown(summaries) + "\n")
         print(f"wrote markdown report for {len(summaries)} scenarios to {args.markdown}")
     if args.json_output is not None:
-        args.json_output.write_text(summaries_to_json(summaries) + "\n")
+        payload = summaries_to_payload(summaries)
+        payload["poison"] = [
+            {
+                "scenario": entry.scenario,
+                "seed": entry.seed,
+                "attempts": entry.attempts,
+                "reason": entry.reason,
+            }
+            for entry in outcome.poison
+        ]
+        payload["supervision"] = outcome.supervision
+        args.json_output.write_text(json.dumps(payload, sort_keys=True, separators=(",", ":")) + "\n")
         print(f"wrote JSON summaries for {len(summaries)} scenarios to {args.json_output}")
     return EXIT_OK

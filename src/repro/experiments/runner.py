@@ -29,9 +29,12 @@ import logging
 import multiprocessing
 import os
 import signal
+import time
 from dataclasses import asdict, dataclass
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
+from ..obs.profiling import profile_directory, profiled_call
+from ..obs.registry import METRICS
 from ..resilience.faults import FaultPlan, FaultState
 from ..resilience.retry import RetryPolicy, TaskQuarantinedError
 from ..resilience.supervisor import (
@@ -47,6 +50,16 @@ _LOG = logging.getLogger("repro.experiments.runner")
 
 DEFAULT_SEED = 2023
 """The shared seed used by benchmarks and smoke sweeps (one seeding path)."""
+
+# Telemetry instruments (descriptive only — see repro.obs).  Cached at import
+# so the steady-state cost of an increment never includes a registry lookup.
+# All sites run in the parent process: dispatched counts every task execution
+# the parent paid for (serial executions and parallel dispatches, retries
+# included), cached counts store hits served without execution, and the wall
+# timer buckets per-task wall-clock as observed from the dispatch loop.
+_OBS_TASKS_DISPATCHED = METRICS.counter("runner.tasks.dispatched")
+_OBS_TASKS_CACHED = METRICS.counter("runner.tasks.cached")
+_OBS_TASK_WALL = METRICS.timer("runner.task.wall")
 
 
 def sweep_seeds(count: int, base: int = DEFAULT_SEED) -> Tuple[int, ...]:
@@ -274,6 +287,20 @@ def _poison_result(spec: ScenarioSpec, seed: int, record: PoisonRecord) -> RunRe
 
 
 def _execute_with_timeout(item: Tuple[ScenarioSpec, int, Optional[float]]) -> RunResult:
+    """Execute one run under the per-run timeout, profiling when requested.
+
+    This is the worker entry point for sweeps *and* fuzz campaigns, so the
+    opt-in cProfile hook lives here: when ``REPRO_PROFILE_DIR`` names a
+    directory (exported before the pool was created, hence inherited by
+    every worker), the run executes under this process's accumulating
+    profiler.  Profiled and unprofiled runs return identical records.
+    """
+    if profile_directory() is not None:
+        return profiled_call(_execute_bounded, item)
+    return _execute_bounded(item)
+
+
+def _execute_bounded(item: Tuple[ScenarioSpec, int, Optional[float]]) -> RunResult:
     global _ALARM_ARMED
     spec, seed, timeout = item
     if timeout is None or not hasattr(signal, "SIGALRM"):
@@ -574,13 +601,19 @@ class Runner:
             for index in range(len(items)):
                 result = pending.get(index)
                 if result is None:
+                    started = time.perf_counter()
                     result = func(items[index])
+                    _OBS_TASK_WALL.observe(time.perf_counter() - started)
+                    _OBS_TASKS_DISPATCHED.inc()
                     if on_result is not None:
                         on_result(index, result)
+                else:
+                    _OBS_TASKS_CACHED.inc()
                 yield result
             return
         worker = indexed_func if indexed_func is not None else functools.partial(_invoke_indexed, func)
         indexed = [(index, items[index]) for index in misses]
+        _OBS_TASKS_CACHED.inc(len(pending))  # dispatches are counted by the supervisor
         supervisor = Supervisor(
             self,
             self.retry_policy,

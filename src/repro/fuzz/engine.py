@@ -33,6 +33,7 @@ from ..experiments.runner import (
     _poison_result,
 )
 from ..experiments.scenario import ScenarioSpec
+from ..obs.registry import METRICS
 from ..sim import instrument
 from ..store.fingerprint import payload_fingerprint, spec_payload
 from ..store.store import CorpusRecord, RunStore
@@ -53,6 +54,15 @@ _MAX_SHRINK_TARGETS = 5
 
 _FRESH_BASE_PROBABILITY = 0.25
 """Chance a candidate restarts from a bare base instead of extending the pool."""
+
+# Telemetry instruments (descriptive only — see repro.obs): campaign-shape
+# counters bumped once per round/candidate, plus a gauge for the coverage
+# frontier.  None of them feed back into the walk.
+_OBS_ROUNDS = METRICS.counter("fuzz.rounds")
+_OBS_CANDIDATES = METRICS.counter("fuzz.candidates")
+_OBS_NOVEL = METRICS.counter("fuzz.novel")
+_OBS_VIOLATING = METRICS.counter("fuzz.violating")
+_OBS_COVERAGE_SITES = METRICS.gauge("fuzz.coverage.sites")
 
 
 def fuzz_execute(
@@ -270,9 +280,14 @@ def run_fuzz(
             report.candidates += 1
             report.cached += 1 if was_cached else 0
             report.executed += 0 if was_cached else 1
+            _OBS_CANDIDATES.inc()
             corpus_fps.append(fp)
             new_sites = coverage.observe(cov)
             is_violating = bool(result.violations)
+            if new_sites > 0:
+                _OBS_NOVEL.inc()
+            if is_violating:
+                _OBS_VIOLATING.inc()
             if store is not None and not was_cached:
                 if store.put(spec, result):  # timeouts are host conditions: skipped
                     store.put_corpus(
@@ -306,6 +321,8 @@ def run_fuzz(
                         weight=1 + proximity_score(cov) + (4 if is_violating else 0),
                     )
                 )
+        _OBS_ROUNDS.inc()
+        _OBS_COVERAGE_SITES.set(len(coverage))
         if log is not None:
             log(
                 f"fuzz: {report.candidates}/{budget} candidates, "

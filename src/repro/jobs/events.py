@@ -41,6 +41,14 @@ class JobEvent:
     ``job`` is the job kind (``sweep``/``analyze``/``fuzz``/``report``/
     ``compare``), ``kind`` one of the ``EVENT_*`` constants; the remaining
     fields are populated per kind and ``None`` otherwise.
+
+    ``sequence`` is assigned by the executor: a monotonic per-job counter
+    starting at 0, so a consumer that receives events over an unordered
+    transport (or interleaves several jobs' streams) can restore each job's
+    emission order.  ``metrics`` rides on the terminal ``status`` event and
+    carries the job's own telemetry counter deltas (dispatch/cache/store/
+    supervision movement attributable to this job) — descriptive data for
+    front ends, never input to anything.
     """
 
     job: str
@@ -49,6 +57,8 @@ class JobEvent:
     message: Optional[str] = None
     completed: Optional[int] = None
     total: Optional[int] = None
+    sequence: Optional[int] = None
+    metrics: Optional[Dict[str, Any]] = None
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -58,4 +68,6 @@ class JobEvent:
             "message": self.message,
             "completed": self.completed,
             "total": self.total,
+            "sequence": self.sequence,
+            "metrics": self.metrics,
         }

@@ -35,12 +35,14 @@ kernels propagate to the caller after an ``Error`` status event.
 
 from __future__ import annotations
 
+import contextlib
 import pathlib
 from dataclasses import dataclass, field, replace
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, Iterator, List, Optional
 
 from ..experiments.aggregate import ScenarioSummary, StreamingAggregator
 from ..experiments.runner import RunResult
+from ..obs.registry import METRICS
 from .events import EVENT_LOG, EVENT_PROGRESS, EVENT_STATUS, JobEvent
 from .spec import (
     AnalyzeJob,
@@ -114,12 +116,21 @@ class FuzzOutcome:
 
 @dataclass
 class ReportOutcome:
-    """Result of a :class:`ReportJob`: summaries of the stored slice."""
+    """Result of a :class:`ReportJob`: summaries of the stored slice.
+
+    ``poison`` lists the store's quarantined tasks under the current code
+    (runs supervision gave up on — see :meth:`repro.store.RunStore.iter_poison`)
+    and ``supervision`` the supervision counters from the store's latest
+    sweep telemetry snapshot, so a report of a resumed campaign shows what
+    was *not* computed and why, not just what was.
+    """
 
     status: str
     summaries: Dict[str, ScenarioSummary] = field(default_factory=dict)
     stale: int = 0
     message: Optional[str] = None
+    poison: List[Any] = field(default_factory=list)
+    supervision: Optional[Dict[str, int]] = None
 
 
 @dataclass
@@ -153,6 +164,54 @@ def _require_store(session: Any, kind: str) -> Any:
 
 
 # ----------------------------------------------------------------------
+# Telemetry (descriptive only — see repro.obs)
+# ----------------------------------------------------------------------
+@contextlib.contextmanager
+def _phase(session: Any, kind: str, name: str) -> Iterator[None]:
+    """Bracket one phase of a job: a registry timer plus a trace span.
+
+    The timer (``job.<kind>.phase.<name>``) always records; the span is
+    written only when the session carries a trace sink.
+    """
+    timer = METRICS.timer(f"job.{kind}.phase.{name}")
+    trace = getattr(session, "trace", None)
+    if trace is not None:
+        with trace.span(f"phase.{name}"), timer.time():
+            yield
+    else:
+        with timer.time():
+            yield
+
+
+def _persist_telemetry(
+    session: Any, kind: str, status: str, counters_before: Dict[str, int]
+) -> None:
+    """Best-effort: snapshot the registry into the session store's telemetry table.
+
+    Only runs against a store the session already opened (it never opens
+    one), and swallows every failure — losing an observation must not fail
+    the job it observed.
+    """
+    try:
+        store = getattr(session, "_store", None)
+        if store is None:
+            return
+        runner = getattr(session, "_runner", None)
+        snapshot = {
+            "version": 1,
+            "job": kind,
+            "status": status,
+            "registry": METRICS.snapshot(),
+            "job_counters": METRICS.counter_delta(counters_before),
+            "store": store.stats.as_dict(),
+            "supervision": runner.supervision.as_dict() if runner is not None else None,
+        }
+        store.put_telemetry(kind, snapshot)
+    except Exception:
+        pass
+
+
+# ----------------------------------------------------------------------
 # Per-job handlers (resolve inputs first, then touch session resources)
 # ----------------------------------------------------------------------
 def _wire_runner_log(job: Any, session: Any, emit: Callable[[JobEvent], None]) -> Any:
@@ -165,7 +224,8 @@ def _wire_runner_log(job: Any, session: Any, emit: Callable[[JobEvent], None]) -
 def _run_sweep(job: SweepJob, session: Any, emit: Callable[[JobEvent], None]) -> SweepOutcome:
     from ..experiments.runner import POISON_ERROR_PREFIX
 
-    scenarios = payloads_to_specs(job.scenario_payloads)
+    with _phase(session, job.kind, "plan"):
+        scenarios = payloads_to_specs(job.scenario_payloads)
     store = session.store
     before = _stats_snapshot(store)
     runner = _wire_runner_log(job, session, emit)
@@ -177,35 +237,38 @@ def _run_sweep(job: SweepJob, session: Any, emit: Callable[[JobEvent], None]) ->
     total = len(scenarios) * len(job.seeds)
     run_count = 0
     fail_fast = bool(getattr(session, "fail_fast", False))
-    for result in session.runner.iter_runs(
-        scenarios, list(job.seeds), store=store, rerun=job.rerun
-    ):
-        run_count += 1
-        aggregator.add(result)
-        if not result.ok:
-            if result.error is not None and result.error.startswith(POISON_ERROR_PREFIX):
-                quarantined.append(result)
-            else:
-                failures.append(result)
-        if records is not None:
-            records.append(result)
-        emit(
-            JobEvent(
-                job=job.kind, kind=EVENT_PROGRESS, completed=run_count, total=total,
-                message=f"{result.scenario} seed={result.seed}",
+    with _phase(session, job.kind, "execute"):
+        for result in session.runner.iter_runs(
+            scenarios, list(job.seeds), store=store, rerun=job.rerun
+        ):
+            run_count += 1
+            aggregator.add(result)
+            if not result.ok:
+                if result.error is not None and result.error.startswith(POISON_ERROR_PREFIX):
+                    quarantined.append(result)
+                else:
+                    failures.append(result)
+            if records is not None:
+                records.append(result)
+            emit(
+                JobEvent(
+                    job=job.kind, kind=EVENT_PROGRESS, completed=run_count, total=total,
+                    message=f"{result.scenario} seed={result.seed}",
+                )
             )
-        )
-        if fail_fast and not result.ok:
-            # Abandoning the iterator terminates the pool and flushes the
-            # store (iter_runs' own guarantees) — completed records survive.
-            break
+            if fail_fast and not result.ok:
+                # Abandoning the iterator terminates the pool and flushes the
+                # store (iter_runs' own guarantees) — completed records survive.
+                break
     supervision_after = runner.supervision.as_dict()
+    with _phase(session, job.kind, "summarize"):
+        summaries = aggregator.summaries()
     return SweepOutcome(
         status=STATUS_ERROR if failures or quarantined else STATUS_COMPLETE,
         run_count=run_count,
         scenario_count=len(scenarios),
         seed_count=len(job.seeds),
-        summaries=aggregator.summaries(),
+        summaries=summaries,
         failures=failures,
         records=records,
         store_stats=_stats_delta(store, before),
@@ -258,9 +321,10 @@ def _run_analyze(job: AnalyzeJob, session: Any, emit: Callable[[JobEvent], None]
             )
         )
 
-    analysis = run_analysis(
-        tasks, runner=session.runner, store=store, rerun=job.rerun, on_verdict=on_verdict
-    )
+    with _phase(session, job.kind, "classify"):
+        analysis = run_analysis(
+            tasks, runner=session.runner, store=store, rerun=job.rerun, on_verdict=on_verdict
+        )
 
     cross_check = None
     cross_check_error = None
@@ -303,17 +367,18 @@ def _run_fuzz(job: FuzzJob, session: Any, emit: Callable[[JobEvent], None]) -> F
         emit(JobEvent(job=job.kind, kind=EVENT_LOG, message=message))
 
     session.runner.on_log = log
-    report = run_fuzz(
-        bases,
-        job.budget,
-        job.fuzz_seed,
-        store=store,
-        runner=session.runner,
-        base_seed=job.base_seed,
-        shrink=job.shrink,
-        log=log,
-        fail_fast=bool(getattr(session, "fail_fast", False)),
-    )
+    with _phase(session, job.kind, "campaign"):
+        report = run_fuzz(
+            bases,
+            job.budget,
+            job.fuzz_seed,
+            store=store,
+            runner=session.runner,
+            base_seed=job.base_seed,
+            shrink=job.shrink,
+            log=log,
+            fail_fast=bool(getattr(session, "fail_fast", False)),
+        )
     return FuzzOutcome(
         status=STATUS_COMPLETE,
         report=report,
@@ -327,15 +392,26 @@ def _run_report(job: ReportJob, session: Any, emit: Callable[[JobEvent], None]) 
     from ..store.query import summarize_store
 
     store = _require_store(session, job.kind)
-    summaries = summarize_store(
-        store,
-        scenarios=job.scenarios or None,
-        protocols=job.protocols or None,
-        adversaries=job.adversaries or None,
-        delays=job.delays or None,
-        any_code=job.any_code,
-    )
+    with _phase(session, job.kind, "summarize"):
+        summaries = summarize_store(
+            store,
+            scenarios=job.scenarios or None,
+            protocols=job.protocols or None,
+            adversaries=job.adversaries or None,
+            delays=job.delays or None,
+            any_code=job.any_code,
+        )
     stale = sum(count for code_fp, count in store.code_fingerprints() if code_fp != store.code_fp)
+    # Surface what the slice did NOT compute: the quarantined (poison)
+    # tasks under the current code, and the supervision counters of the
+    # store's most recent sweep snapshot when one was persisted.
+    poison = list(store.iter_poison())
+    supervision: Optional[Dict[str, int]] = None
+    telemetry = store.get_telemetry(label=SweepJob.kind)
+    if telemetry is not None:
+        recorded = telemetry.snapshot.get("supervision")
+        if isinstance(recorded, dict):
+            supervision = recorded
     if not summaries:
         hint = (
             " (records exist under other code fingerprints; pass --any-code or --rerun the sweep)"
@@ -346,8 +422,16 @@ def _run_report(job: ReportJob, session: Any, emit: Callable[[JobEvent], None]) 
             status=STATUS_NO_SOLUTION,
             stale=stale,
             message=f"no stored records match the requested slice{hint}",
+            poison=poison,
+            supervision=supervision,
         )
-    return ReportOutcome(status=STATUS_COMPLETE, summaries=summaries, stale=stale)
+    return ReportOutcome(
+        status=STATUS_COMPLETE,
+        summaries=summaries,
+        stale=stale,
+        poison=poison,
+        supervision=supervision,
+    )
 
 
 def _run_compare(job: CompareJob, session: Any, emit: Callable[[JobEvent], None]) -> CompareOutcome:
@@ -388,16 +472,40 @@ def execute_job(job: Any, session: Any, on_event: _EventSink = None) -> Any:
     ``Initialized → Error``; a kernel exception transitions to ``Error``
     and then propagates unchanged, so callers keep the original error while
     the event stream still records how the job ended.
+
+    Telemetry (all descriptive, none of it load-bearing): every emitted
+    event carries a monotonic per-job ``sequence``; the terminal status
+    event carries this job's counter deltas in ``metrics``; when the
+    session has a trace sink the handler runs inside a ``job.<kind>`` span
+    and every event is mirrored as a trace record; and when the session's
+    store is open, a snapshot of the registry is persisted into its
+    ``telemetry`` table after the job completes.
     """
     kind = getattr(type(job), "kind", type(job).__name__)
     lifecycle = JobLifecycle()
+    trace = getattr(session, "trace", None)
+    counters_before = METRICS.counter_values()
+    METRICS.counter(f"job.{kind}.submitted").inc()
+    next_sequence = 0
 
     def emit(event: JobEvent) -> None:
+        nonlocal next_sequence
+        event = replace(event, sequence=next_sequence)
+        next_sequence += 1
+        if trace is not None:
+            trace.event(
+                f"{kind}.{event.kind}",
+                status=event.status,
+                message=event.message,
+                completed=event.completed,
+                total=event.total,
+                event_sequence=event.sequence,
+            )
         if on_event is not None:
             on_event(event)
 
-    def emit_status() -> None:
-        emit(JobEvent(job=kind, kind=EVENT_STATUS, status=lifecycle.status))
+    def emit_status(metrics: Optional[Dict[str, Any]] = None) -> None:
+        emit(JobEvent(job=kind, kind=EVENT_STATUS, status=lifecycle.status, metrics=metrics))
 
     emit_status()
     handler = _HANDLERS.get(kind)
@@ -410,11 +518,17 @@ def execute_job(job: Any, session: Any, on_event: _EventSink = None) -> Any:
         )
     lifecycle.transition(STATUS_RUNNING)
     emit_status()
+    job_span = (
+        trace.span(f"job.{kind}", fingerprint=getattr(job, "fingerprint", lambda: None)())
+        if trace is not None
+        else contextlib.nullcontext()
+    )
     try:
-        outcome = handler(job, session, emit)
+        with job_span, METRICS.timer(f"job.{kind}.wall").time():
+            outcome = handler(job, session, emit)
     except BaseException:
         lifecycle.transition(STATUS_ERROR)
-        emit_status()
+        emit_status(metrics=METRICS.counter_delta(counters_before))
         # Salvage what completed: best-effort retried flush of the session
         # store's buffered records (KeyboardInterrupt included — the user
         # killed the job, not the results it already computed).  Never
@@ -427,5 +541,6 @@ def execute_job(job: Any, session: Any, on_event: _EventSink = None) -> Any:
                 pass
         raise
     lifecycle.transition(outcome.status)
-    emit_status()
+    emit_status(metrics=METRICS.counter_delta(counters_before))
+    _persist_telemetry(session, kind, outcome.status, counters_before)
     return outcome

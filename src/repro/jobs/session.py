@@ -33,6 +33,7 @@ import pathlib
 from typing import Any, Callable, Optional, Union
 
 from ..experiments.runner import Runner
+from ..obs.trace import TraceSink
 from ..resilience.faults import FaultPlan
 from ..resilience.retry import RetryPolicy
 from ..store.store import RunStore
@@ -75,6 +76,11 @@ class ExecutionSession:
         fault_plan: Deterministic fault injection for chaos tests, threaded
             into both the runner and the store; defaults to the plan in
             the ``REPRO_FAULT_PLAN`` environment variable, else none.
+        trace_path: Optional JSONL trace file (the ``--trace FILE`` flag):
+            every job the session runs writes span/event records into one
+            :class:`~repro.obs.trace.TraceSink` there.  Tracing is
+            descriptive only — traced and untraced sessions produce
+            byte-identical records and outcomes.
 
     Both resources are lazy: a session that only runs :class:`ReportJob`\\ s
     never spawns a pool, and a storeless sweep never touches SQLite.  A
@@ -92,6 +98,7 @@ class ExecutionSession:
         max_retries: Optional[int] = None,
         fail_fast: bool = False,
         fault_plan: Optional[FaultPlan] = None,
+        trace_path: Optional[Union[str, pathlib.Path]] = None,
     ):
         if max_retries is not None and max_retries < 0:
             raise ValueError("max_retries must be non-negative")
@@ -102,9 +109,11 @@ class ExecutionSession:
         self.max_retries = max_retries
         self.fail_fast = fail_fast
         self.fault_plan = fault_plan
+        self.trace_path = pathlib.Path(trace_path) if trace_path is not None else None
         self._store_options = dict(store_options) if store_options else {}
         self._runner: Optional[Runner] = None
         self._store: Optional[RunStore] = None
+        self._trace: Optional[TraceSink] = None
         self._closed = False
 
     def _retry_policy(self) -> Optional[RetryPolicy]:
@@ -156,6 +165,18 @@ class ExecutionSession:
             self._store = RunStore(self.store_path, **options)
         return self._store
 
+    @property
+    def trace(self) -> Optional[TraceSink]:
+        """The session's trace sink, or ``None`` when untraced.
+
+        Opened lazily (an untraced session never touches the file); owned
+        and closed by the session like the pool and the store.
+        """
+        self._check_open()
+        if self._trace is None and self.trace_path is not None:
+            self._trace = TraceSink(self.trace_path)
+        return self._trace
+
     def _check_open(self) -> None:
         if self._closed:
             raise SessionClosedError(
@@ -200,6 +221,9 @@ class ExecutionSession:
         runner, self._runner = self._runner, None
         if runner is not None:
             runner.close()
+        trace, self._trace = self._trace, None
+        if trace is not None:
+            trace.close()  # never raises; a failed trace is just a lost trace
         if self._store is not None:
             self._store.close()  # may raise StoreFlushError; reference kept
             self._store = None

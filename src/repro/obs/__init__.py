@@ -1,0 +1,65 @@
+"""Observability: metrics registry, structured tracing, profiling hooks.
+
+Everything in this package is **descriptive, never load-bearing** — the
+execution layers emit telemetry into it, and nothing reads telemetry back
+to make a decision.  Records, baselines and serial==parallel byte-identity
+are unchanged whether telemetry is on or off; tests enforce this.
+
+The package is deliberately outside the semantic fingerprint
+(``repro.store.fingerprint.SEMANTIC_PACKAGES``): editing instrumentation
+must never invalidate cached run records.
+"""
+
+from .registry import (
+    METRICS,
+    Counter,
+    Gauge,
+    MetricsRegistry,
+    Timer,
+    TIMER_BUCKETS,
+    render_markdown,
+    render_prometheus,
+    render_text,
+    set_enabled,
+    telemetry_enabled,
+)
+from .trace import (
+    RECORD_EVENT,
+    RECORD_SPAN_END,
+    RECORD_SPAN_START,
+    TRACE_FORMAT_VERSION,
+    TraceSink,
+)
+from .profiling import (
+    PROFILE_DIR_ENV,
+    merge_profiles,
+    profile_directory,
+    profiled_call,
+    top_functions,
+    worker_profiling,
+)
+
+__all__ = [
+    "METRICS",
+    "Counter",
+    "Gauge",
+    "MetricsRegistry",
+    "Timer",
+    "TIMER_BUCKETS",
+    "render_markdown",
+    "render_prometheus",
+    "render_text",
+    "set_enabled",
+    "telemetry_enabled",
+    "RECORD_EVENT",
+    "RECORD_SPAN_END",
+    "RECORD_SPAN_START",
+    "TRACE_FORMAT_VERSION",
+    "TraceSink",
+    "PROFILE_DIR_ENV",
+    "merge_profiles",
+    "profile_directory",
+    "profiled_call",
+    "top_functions",
+    "worker_profiling",
+]

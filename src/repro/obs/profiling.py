@@ -1,0 +1,128 @@
+"""Opt-in cProfile hooks for worker-side task execution.
+
+Profiling crosses the process boundary: tasks run in pool workers, so the
+parent cannot profile them directly.  The hook works through one
+environment variable, :data:`PROFILE_DIR_ENV` — when it names a
+directory, every process (the parent in serial mode, each worker in
+parallel mode) accumulates a :class:`cProfile.Profile` across the tasks
+it executes and rewrites ``worker-<pid>.pstats`` in that directory after
+each task.  Rewriting per task means the dumps survive a pool respawn or
+``terminate()``: whatever the worker profiled up to its last completed
+task is on disk.
+
+The parent then merges the per-process dumps with :func:`merge_profiles`
+into a single :class:`pstats.Stats`, which the ``run --profile`` flag
+saves and summarises.  Because workers inherit the parent's environment
+at pool creation (both fork and spawn re-exported it), setting the
+variable before the pool exists — :func:`worker_profiling` does this —
+is all the plumbing required; no per-task arguments change, so profiled
+and unprofiled runs stay byte-identical.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import os
+import pstats
+from pathlib import Path
+from typing import Any, Callable, List, Optional, Union
+
+PROFILE_DIR_ENV = "REPRO_PROFILE_DIR"
+"""Environment variable naming the per-process pstats dump directory."""
+
+_PROFILER: Optional[cProfile.Profile] = None
+
+
+def profile_directory() -> Optional[str]:
+    """The active profile dump directory, or ``None`` when profiling is off."""
+    value = os.environ.get(PROFILE_DIR_ENV)
+    return value if value else None
+
+
+def profiled_call(func: Callable[..., Any], *args: Any) -> Any:
+    """Run ``func(*args)`` under this process's accumulating profiler.
+
+    The caller has already checked :func:`profile_directory`; stats are
+    re-dumped after every task so a crashed or terminated worker still
+    leaves its last-known profile behind.  Dump failures are swallowed —
+    profiling is descriptive, never load-bearing.
+    """
+    global _PROFILER
+    if _PROFILER is None:
+        _PROFILER = cProfile.Profile()
+    _PROFILER.enable()
+    try:
+        return func(*args)
+    finally:
+        _PROFILER.disable()
+        directory = profile_directory()
+        if directory is not None:
+            try:
+                Path(directory).mkdir(parents=True, exist_ok=True)
+                _PROFILER.dump_stats(str(Path(directory) / f"worker-{os.getpid()}.pstats"))
+            except OSError:
+                pass
+
+
+class worker_profiling:
+    """Context manager: export :data:`PROFILE_DIR_ENV` around pool creation.
+
+    Entered *before* the worker pool spins up so every worker inherits the
+    variable; restores the previous value on exit.
+    """
+
+    def __init__(self, directory: Union[str, Path]):
+        self._directory = str(directory)
+        self._previous: Optional[str] = None
+
+    def __enter__(self) -> "worker_profiling":
+        Path(self._directory).mkdir(parents=True, exist_ok=True)
+        self._previous = os.environ.get(PROFILE_DIR_ENV)
+        os.environ[PROFILE_DIR_ENV] = self._directory
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        if self._previous is None:
+            os.environ.pop(PROFILE_DIR_ENV, None)
+        else:
+            os.environ[PROFILE_DIR_ENV] = self._previous
+
+
+def merge_profiles(
+    directory: Union[str, Path],
+    output: Optional[Union[str, Path]] = None,
+) -> Optional[pstats.Stats]:
+    """Merge every ``worker-*.pstats`` dump in ``directory``.
+
+    Returns the combined :class:`pstats.Stats` (dumped to ``output`` when
+    given), or ``None`` when the directory holds no dumps.  Unreadable or
+    truncated dumps (a worker killed mid-write) are skipped.
+    """
+    dumps = sorted(Path(directory).glob("worker-*.pstats"))
+    merged: Optional[pstats.Stats] = None
+    for dump in dumps:
+        try:
+            if merged is None:
+                merged = pstats.Stats(str(dump))
+            else:
+                merged.add(str(dump))
+        except (OSError, EOFError, TypeError, ValueError, ImportError):
+            continue
+    if merged is not None and output is not None:
+        merged.dump_stats(str(output))
+    return merged
+
+
+def top_functions(stats: pstats.Stats, limit: int = 10) -> List[str]:
+    """The ``limit`` most cumulative-expensive functions as display lines."""
+    entries = sorted(
+        stats.stats.items(),  # type: ignore[attr-defined]
+        key=lambda item: item[1][3],  # cumulative time
+        reverse=True,
+    )
+    lines = []
+    for (filename, lineno, function), row in entries[:limit]:
+        calls, _, total_time, cumulative, _ = row
+        location = f"{Path(filename).name}:{lineno}:{function}"
+        lines.append(f"{cumulative:9.4f}s cum {total_time:9.4f}s tot {calls:>8} calls  {location}")
+    return lines

@@ -32,8 +32,21 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Deque, Dict, Iterable, Iterator, List, Optional, Tuple
 
+from ..obs.registry import METRICS
 from .faults import FaultState, apply_worker_fault
 from .retry import RetryPolicy
+
+# Telemetry instruments (descriptive only — see repro.obs).  They mirror
+# SupervisionStats into the process-local registry: the dataclass stays the
+# per-runner, test-visible record, the registry the process-wide aggregate.
+# "runner.tasks.dispatched" is shared with the runner's serial path so the
+# counter means "task executions paid for" regardless of dispatch mode.
+_OBS_DISPATCHED = METRICS.counter("runner.tasks.dispatched")
+_OBS_TASK_WALL = METRICS.timer("runner.task.wall")
+_OBS_CRASHES = METRICS.counter("supervisor.crashes_detected")
+_OBS_RESPAWNS = METRICS.counter("supervisor.respawns")
+_OBS_RETRIES = METRICS.counter("supervisor.retries")
+_OBS_QUARANTINED = METRICS.counter("supervisor.quarantined")
 
 _POLL_INTERVAL = 0.02
 """Default seconds between supervision polls while tasks are in flight."""
@@ -208,6 +221,7 @@ class Supervisor:
     def _recover(self, reason: str, queue: Deque[_Task]) -> List[Tuple[int, PoisonRecord]]:
         """Respawn the pool; requeue or quarantine every unharvested task."""
         self.stats.crashes_detected += 1
+        _OBS_CRASHES.inc()
         lost = [entry[2] for entry in self._outstanding.values()]
         self._outstanding.clear()
         self._log(
@@ -217,11 +231,13 @@ class Supervisor:
         self._runner.close()
         self._pids = None
         self.stats.respawns += 1
+        _OBS_RESPAWNS.inc()
         poisoned: List[Tuple[int, PoisonRecord]] = []
         now = time.monotonic()
         for task in reversed(lost):  # appendleft keeps original dispatch order
             if task.attempts >= self._policy.max_attempts:
                 self.stats.quarantined += 1
+                _OBS_QUARANTINED.inc()
                 self._log(
                     f"supervisor: quarantining task {task.index} as poison "
                     f"after {task.attempts} attempt(s)"
@@ -231,6 +247,7 @@ class Supervisor:
                 )
             else:
                 self.stats.retries += 1
+                _OBS_RETRIES.inc()
                 task.eligible_at = now + self._policy.backoff(task.attempts, token=task.index)
                 queue.appendleft(task)
         return poisoned
@@ -260,6 +277,7 @@ class Supervisor:
                     self._pids = self._worker_pids(pool)
                 task.attempts += 1
                 self.stats.dispatched += 1
+                _OBS_DISPATCHED.inc()
                 fault = self._faults.worker_fault((self._call, task.index), task.attempts)
                 async_result = pool.apply_async(
                     _supervised_invoke, (worker, fault, hang_seconds, (task.index, task.item))
@@ -271,7 +289,8 @@ class Supervisor:
             ]
             if completed:
                 for index in completed:
-                    async_result, _started, _task = self._outstanding.pop(index)
+                    async_result, started, _task = self._outstanding.pop(index)
+                    _OBS_TASK_WALL.observe(time.monotonic() - started)
                     # .get() re-raises an exception the task itself raised —
                     # that is a task failure, not a worker fault, and it
                     # propagates exactly as it did under imap_unordered.

@@ -53,6 +53,7 @@ from .store import (
     StoreFormatError,
     StoreRecovery,
     StoreStats,
+    TelemetrySnapshot,
     is_run_store,
 )
 
@@ -69,6 +70,7 @@ __all__ = [
     "StoreFormatError",
     "StoreRecovery",
     "StoreStats",
+    "TelemetrySnapshot",
     "analysis_code_fingerprint",
     "canonical_form",
     "code_fingerprint",

@@ -49,11 +49,25 @@ from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from ..experiments.runner import POISON_ERROR_PREFIX, TIMEOUT_ERROR_PREFIX, RunResult
 from ..experiments.scenario import ScenarioSpec
+from ..obs.registry import METRICS
 from ..resilience.faults import FaultPlan, FaultState
 from ..resilience.retry import RetryPolicy
 from .fingerprint import analysis_code_fingerprint, code_fingerprint, scenario_fingerprint
 
 STORE_FORMAT_VERSION = 1
+
+# Telemetry instruments (descriptive only — see repro.obs).  They mirror the
+# per-session StoreStats into the process-local registry so a campaign's
+# store behaviour shows up in the same snapshot as dispatch and supervision.
+_OBS_HITS = METRICS.counter("store.hits")
+_OBS_MISSES = METRICS.counter("store.misses")
+_OBS_STORED = METRICS.counter("store.stored")
+_OBS_FLUSH_ATTEMPTS = METRICS.counter("store.flush.attempts")
+_OBS_FLUSH_RETRIES = METRICS.counter("store.flush.retries")
+_OBS_JOURNAL_SPILLED = METRICS.counter("store.journal.spilled")
+_OBS_JOURNAL_REPLAYED = METRICS.counter("store.journal.replayed")
+_OBS_POISON_STORED = METRICS.counter("store.poison.stored")
+_OBS_FLUSH_WALL = METRICS.timer("store.flush.wall")
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS meta (
@@ -108,7 +122,20 @@ CREATE TABLE IF NOT EXISTS poison (
     reason      TEXT    NOT NULL,
     PRIMARY KEY (scenario_fp, seed, code_fp)
 );
+CREATE TABLE IF NOT EXISTS telemetry (
+    snapshot_id   INTEGER PRIMARY KEY AUTOINCREMENT,
+    label         TEXT NOT NULL,
+    created       REAL NOT NULL,
+    snapshot_json TEXT NOT NULL
+);
+CREATE INDEX IF NOT EXISTS telemetry_by_label ON telemetry (label, snapshot_id);
 """
+# The telemetry table is *descriptive*: snapshots are observations about an
+# execution (metrics registry state, per-job counter deltas, supervision
+# stats), never inputs to one.  It is deliberately additive — created by
+# IF NOT EXISTS on open, absent from _INSERTS (no batch/journal/salvage
+# path), and outside the format version, so old stores gain it silently and
+# telemetry rows never compete with run records for flush durability.
 
 _INSERTS: Dict[str, Tuple[str, int]] = {
     "runs": (
@@ -209,6 +236,22 @@ class PoisonEntry:
     seed: int
     attempts: int
     reason: str
+
+
+@dataclass(frozen=True)
+class TelemetrySnapshot:
+    """One persisted telemetry snapshot (a row of the ``telemetry`` table).
+
+    ``snapshot`` is the JSON payload the executor persisted at the end of a
+    job: the process-local metrics registry, the job's own counter deltas,
+    the store/supervision stats.  Descriptive only — nothing reads a
+    snapshot to make an execution decision.
+    """
+
+    snapshot_id: int
+    label: str
+    created: float
+    snapshot: Dict[str, Any]
 
 
 @dataclass(frozen=True)
@@ -536,6 +579,7 @@ class RunStore:
             journal.unlink()
         except OSError:
             pass
+        _OBS_JOURNAL_REPLAYED.inc(replayed)
         return replayed
 
     @property
@@ -568,6 +612,7 @@ class RunStore:
                 if attempt == policy.max_attempts:
                     break
                 self.stats.flush_retries += 1
+                _OBS_FLUSH_RETRIES.inc()
                 time.sleep(policy.backoff(attempt, token="flush"))
         if raise_on_failure:
             raise StoreFlushError(
@@ -602,6 +647,7 @@ class RunStore:
                 last_error = exc
                 if attempt < policy.max_attempts:
                     self.stats.flush_retries += 1
+                    _OBS_FLUSH_RETRIES.inc()
                     time.sleep(policy.backoff(attempt, token="close"))
         if last_error is not None:
             if not _spillworthy(last_error):
@@ -667,20 +713,24 @@ class RunStore:
         if cached is not None:
             self._lru.move_to_end(key)
             self.stats.hits += 1
+            _OBS_HITS.inc()
             return cached
         pending = self._pending.get(key)
         if pending is not None:
             self.stats.hits += 1
+            _OBS_HITS.inc()
             return pending[1]
         row = self._connection().execute(
             "SELECT result_json FROM runs WHERE scenario_fp=? AND seed=? AND code_fp=?", key
         ).fetchone()
         if row is None:
             self.stats.misses += 1
+            _OBS_MISSES.inc()
             return None
         result = RunResult.from_dict(json.loads(row[0]))
         self._lru_put(key, result)
         self.stats.hits += 1
+        _OBS_HITS.inc()
         return result
 
     def __contains__(self, spec_seed: Tuple[ScenarioSpec, int]) -> bool:
@@ -714,6 +764,7 @@ class RunStore:
         self._pending[key] = (spec, result)
         self._lru_put(key, result)
         self.stats.stored += 1
+        _OBS_STORED.inc()
         if len(self._pending) >= self.batch_size:
             self.flush_retrying(raise_on_failure=False)
         return True
@@ -790,13 +841,15 @@ class RunStore:
         rows_by_table = self._pending_rows()
         if not rows_by_table:
             return
+        _OBS_FLUSH_ATTEMPTS.inc()
         if self._fault_state.next_flush_fails():
             # Counted per flush *with pending rows*, so a plan's "fail
             # attempt 2" means the second real write, deterministically.
             raise OSError(28, "injected flush failure (REPRO_FAULT_PLAN)")
-        for table, rows in rows_by_table.items():
-            conn.executemany(_INSERTS[table][0], rows)
-        conn.commit()
+        with _OBS_FLUSH_WALL.time():
+            for table, rows in rows_by_table.items():
+                conn.executemany(_INSERTS[table][0], rows)
+            conn.commit()
         self._clear_pending()
 
     def _spill_to_journal(self) -> int:
@@ -819,6 +872,7 @@ class RunStore:
             handle.flush()
             os.fsync(handle.fileno())
         self._clear_pending()
+        _OBS_JOURNAL_SPILLED.inc(spilled)
         return spilled
 
     # ------------------------------------------------------------------
@@ -829,6 +883,7 @@ class RunStore:
         key = self.key(spec, seed)
         self._pending_poison[key] = (spec.name, int(seed), int(attempts), str(reason))
         self.stats.poison_stored += 1
+        _OBS_POISON_STORED.inc()
         if self.pending_count >= self.batch_size:
             self.flush_retrying(raise_on_failure=False)
 
@@ -848,6 +903,70 @@ class RunStore:
         return self._connection().execute(
             "SELECT COUNT(*) FROM poison WHERE code_fp=?", (self.code_fp,)
         ).fetchone()[0]
+
+    # ------------------------------------------------------------------
+    # Telemetry snapshots (descriptive only — never read to decide anything)
+    # ------------------------------------------------------------------
+    def put_telemetry(self, label: str, snapshot: Dict[str, Any]) -> Optional[int]:
+        """Persist one telemetry snapshot; returns its id, or None on failure.
+
+        Written immediately (one row, committed) rather than through the
+        batched flush: telemetry must never compete with run records for
+        flush durability, and a failure to record an observation is itself
+        only an observation — it is swallowed, never raised.
+        """
+        try:
+            conn = self._connection()
+            cursor = conn.execute(
+                "INSERT INTO telemetry (label, created, snapshot_json) VALUES (?, ?, ?)",
+                (str(label), time.time(), json.dumps(snapshot, sort_keys=True)),
+            )
+            conn.commit()
+            return cursor.lastrowid
+        except (sqlite3.Error, OSError, RuntimeError, TypeError, ValueError):
+            return None
+
+    def get_telemetry(
+        self, snapshot_id: Optional[int] = None, label: Optional[str] = None
+    ) -> Optional[TelemetrySnapshot]:
+        """The snapshot with ``snapshot_id``, or the latest (matching ``label``)."""
+        query = "SELECT snapshot_id, label, created, snapshot_json FROM telemetry"
+        params: Tuple[Any, ...] = ()
+        if snapshot_id is not None:
+            query += " WHERE snapshot_id=?"
+            params = (snapshot_id,)
+        elif label is not None:
+            query += " WHERE label=?"
+            params = (label,)
+        query += " ORDER BY snapshot_id DESC LIMIT 1"
+        row = self._connection().execute(query, params).fetchone()
+        if row is None:
+            return None
+        try:
+            snapshot = json.loads(row[3])
+        except json.JSONDecodeError:
+            return None
+        return TelemetrySnapshot(snapshot_id=row[0], label=row[1], created=row[2], snapshot=snapshot)
+
+    def iter_telemetry(self, label: Optional[str] = None) -> Iterator[TelemetrySnapshot]:
+        """Every stored snapshot (optionally for one label), oldest first."""
+        query = "SELECT snapshot_id, label, created, snapshot_json FROM telemetry"
+        params: Tuple[Any, ...] = ()
+        if label is not None:
+            query += " WHERE label=?"
+            params = (label,)
+        query += " ORDER BY snapshot_id"
+        for row in self._connection().execute(query, params):
+            try:
+                snapshot = json.loads(row[3])
+            except json.JSONDecodeError:
+                continue
+            yield TelemetrySnapshot(
+                snapshot_id=row[0], label=row[1], created=row[2], snapshot=snapshot
+            )
+
+    def count_telemetry(self) -> int:
+        return self._connection().execute("SELECT COUNT(*) FROM telemetry").fetchone()[0]
 
     # ------------------------------------------------------------------
     # Analysis verdicts (the ``analyze`` pipeline's cache)
@@ -1117,10 +1236,32 @@ def _inject_corruption(path: Union[str, pathlib.Path]) -> None:
         return
     if size <= 512:
         return
-    offset = max(512, size // 2)
-    length = min(256, size - offset)
-    if length <= 0:
-        return
+    # A blind mid-file scribble can land on a free page, which quick_check
+    # happily ignores.  Target a table root page instead: it is always in
+    # use, so the damage is guaranteed to be detected.  The victim is the
+    # highest-numbered root (the most recently created table), which keeps
+    # the older tables' rows salvageable.
+    page_size = 4096
+    root_page = 0
+    try:
+        probe = sqlite3.connect(f"file:{path}?mode=ro", uri=True)
+        try:
+            page_size = probe.execute("PRAGMA page_size").fetchone()[0]
+            row = probe.execute(
+                "SELECT max(rootpage) FROM sqlite_master WHERE type = 'table' AND rootpage > 1"
+            ).fetchone()
+            root_page = row[0] or 0
+        finally:
+            probe.close()
+    except sqlite3.Error:
+        pass
+    offsets = [max(512, size // 2)]
+    if root_page:
+        offsets.append((root_page - 1) * page_size)
     with open(path, "r+b") as handle:
-        handle.seek(offset)
-        handle.write(b"\xff" * length)
+        for offset in offsets:
+            length = min(256, size - offset)
+            if length <= 0 or offset < 512:
+                continue
+            handle.seek(offset)
+            handle.write(b"\xff" * length)

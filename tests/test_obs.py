@@ -1,0 +1,533 @@
+"""Observability: metrics registry, trace sink, telemetry persistence, stats CLI.
+
+The hard contract under test: telemetry is **descriptive, never
+load-bearing**.  Traced/profiled/metered executions must produce
+byte-identical run records and summaries to bare ones, on or off, serial
+or parallel.  Everything else here covers the instruments themselves —
+registry semantics, JSONL trace structure, the persisted ``telemetry``
+table, the ``stats`` subcommand and the cProfile worker hooks.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.experiments.aggregate import results_to_json
+from repro.experiments.cli import main
+from repro.jobs import (
+    EVENT_STATUS,
+    ExecutionSession,
+    JobEvent,
+    SweepJob,
+    open_run_store,
+    select_scenarios,
+    specs_to_payloads,
+)
+from repro.obs import (
+    METRICS,
+    MetricsRegistry,
+    PROFILE_DIR_ENV,
+    RECORD_EVENT,
+    RECORD_SPAN_END,
+    RECORD_SPAN_START,
+    TIMER_BUCKETS,
+    TraceSink,
+    merge_profiles,
+    profile_directory,
+    render_markdown,
+    render_prometheus,
+    render_text,
+    set_enabled,
+    telemetry_enabled,
+    top_functions,
+    worker_profiling,
+)
+from repro.store import RunStore
+
+SLICE = ["binary+silent+synchronous", "quad+silent+synchronous"]
+
+
+def slice_payloads():
+    return specs_to_payloads(select_scenarios(SLICE))
+
+
+def run_cli(*argv):
+    return main(list(argv))
+
+
+@pytest.fixture(autouse=True)
+def clean_registry():
+    """Zero the process-global registry around every test in this module."""
+    METRICS.reset()
+    set_enabled(True)
+    yield
+    set_enabled(True)
+    METRICS.reset()
+
+
+def run_sweep(store_path=None, trace_path=None, parallel=None, on_event=None):
+    job = SweepJob(scenario_payloads=slice_payloads(), seeds=(1, 2), collect_records=True)
+    with ExecutionSession(
+        parallel=parallel, store_path=store_path, trace_path=trace_path
+    ) as session:
+        return session.submit(job, on_event=on_event)
+
+
+# ----------------------------------------------------------------------
+# Metrics registry
+# ----------------------------------------------------------------------
+class TestRegistry:
+    def test_counter_and_gauge_basics(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("x.count")
+        counter.inc()
+        counter.inc(3)
+        registry.gauge("x.level").set(7)
+        assert counter.value == 4
+        assert registry.snapshot()["gauges"]["x.level"] == 7
+
+    def test_instruments_are_created_once_and_reused(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a.b") is registry.counter("a.b")
+        assert registry.timer("a.t") is registry.timer("a.t")
+
+    def test_cross_kind_name_collision_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("dual.use")
+        with pytest.raises(ValueError, match="already exists as a counter"):
+            registry.gauge("dual.use")
+        with pytest.raises(ValueError, match="already exists as a counter"):
+            registry.timer("dual.use")
+
+    @pytest.mark.parametrize("name", ["", "Upper.case", "trailing.", ".leading", "sp ace"])
+    def test_invalid_names_rejected(self, name):
+        with pytest.raises(ValueError, match="invalid instrument name"):
+            MetricsRegistry().counter(name)
+
+    def test_timer_buckets_and_context_manager(self):
+        registry = MetricsRegistry()
+        timer = registry.timer("t.wall")
+        timer.observe(0.0005)  # first bucket (<= 0.001)
+        timer.observe(0.3)  # <= 0.5
+        timer.observe(99.0)  # +inf
+        with timer.time():
+            pass
+        assert timer.count == 4
+        snapshot = registry.snapshot()["timers"]["t.wall"]
+        assert snapshot["buckets"]["0.001"] >= 1
+        assert snapshot["buckets"]["0.5"] == 1
+        assert snapshot["buckets"]["+inf"] == 1
+        assert set(snapshot["buckets"]) == {f"{b:g}" for b in TIMER_BUCKETS} | {"+inf"}
+
+    def test_counter_delta_reports_only_movement(self):
+        registry = MetricsRegistry()
+        moved = registry.counter("moved")
+        registry.counter("still")
+        before = registry.counter_values()
+        moved.inc(2)
+        late = registry.counter("late.arrival")
+        late.inc()
+        assert registry.counter_delta(before) == {"moved": 2, "late.arrival": 1}
+
+    def test_reset_zeroes_in_place_keeping_cached_instruments(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("kept")
+        timer = registry.timer("kept.t")
+        counter.inc(5)
+        timer.observe(1.0)
+        registry.reset()
+        assert counter.value == 0 and timer.count == 0
+        counter.inc()  # the cached object is still the registry's object
+        assert registry.snapshot()["counters"]["kept"] == 1
+
+    def test_disable_makes_updates_no_ops(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("gated")
+        timer = registry.timer("gated.t")
+        gauge = registry.gauge("gated.g")
+        set_enabled(False)
+        assert not telemetry_enabled()
+        counter.inc()
+        timer.observe(1.0)
+        gauge.set(3)
+        assert counter.value == 0 and timer.count == 0 and gauge.value == 0
+        set_enabled(True)
+        counter.inc()
+        assert counter.value == 1
+
+
+class TestRenderers:
+    def test_text_empty_registry(self):
+        assert "(no instruments recorded)" in render_text(MetricsRegistry().snapshot())
+
+    def test_text_lists_counters_and_timers(self):
+        registry = MetricsRegistry()
+        registry.counter("c.one").inc(3)
+        registry.timer("t.one").observe(0.5)
+        text = render_text(registry.snapshot(), title="telemetry")
+        assert text.startswith("telemetry:")
+        assert "c.one = 3" in text
+        assert "t.one: count=1" in text
+
+    def test_markdown_table(self):
+        registry = MetricsRegistry()
+        registry.counter("c.one").inc()
+        registry.gauge("g.one").set(2)
+        lines = render_markdown(registry.snapshot()).splitlines()
+        assert lines[0] == "| instrument | kind | value |"
+        assert "| c.one | counter | 1 |" in lines
+        assert "| g.one | gauge | 2 |" in lines
+
+    def test_prometheus_exposition(self):
+        registry = MetricsRegistry()
+        registry.counter("runner.tasks.dispatched").inc(4)
+        registry.timer("runner.task.wall").observe(0.0005)
+        registry.timer("runner.task.wall").observe(99.0)
+        text = render_prometheus(registry.snapshot())
+        assert text.endswith("\n")
+        assert "# TYPE repro_runner_tasks_dispatched_total counter" in text
+        assert "repro_runner_tasks_dispatched_total 4" in text
+        # Histogram buckets are cumulative and end at +inf == _count.
+        assert 'repro_runner_task_wall_seconds_bucket{le="0.001"} 1' in text
+        assert 'repro_runner_task_wall_seconds_bucket{le="+inf"} 2' in text
+        assert "repro_runner_task_wall_seconds_count 2" in text
+
+
+# ----------------------------------------------------------------------
+# Trace sink
+# ----------------------------------------------------------------------
+class TestTraceSink:
+    def read_records(self, text):
+        return [json.loads(line) for line in text.strip().splitlines()]
+
+    def test_jsonl_structure_and_monotonic_sequence(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = TraceSink(path)
+        with sink.span("job.sweep", fingerprint="abc"):
+            sink.event("task.done", scenario="s1")
+            with sink.span("phase.execute"):
+                sink.event("tick")
+        sink.close()
+        records = self.read_records(path.read_text())
+        assert records[0]["name"] == "trace" and records[0]["version"] == 1
+        assert [r["sequence"] for r in records] == list(range(len(records)))
+        assert all(r["t"] >= 0 for r in records)
+        by_kind = {}
+        for record in records:
+            by_kind.setdefault(record["record"], []).append(record)
+        assert len(by_kind[RECORD_SPAN_START]) == len(by_kind[RECORD_SPAN_END]) == 2
+        # Parent attribution: events and inner spans name the innermost span.
+        task_done = next(r for r in records if r["name"] == "task.done")
+        assert task_done["parent"] == "job.sweep"
+        inner_start = next(
+            r for r in records if r["name"] == "phase.execute" and r["record"] == RECORD_SPAN_START
+        )
+        assert inner_start["parent"] == "job.sweep"
+        tick = next(r for r in records if r["name"] == "tick")
+        assert tick["parent"] == "phase.execute"
+        ends = [r for r in records if r["record"] == RECORD_SPAN_END]
+        assert all("duration" in r and r["duration"] >= 0 for r in ends)
+
+    def test_span_records_error_type_and_reraises(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = TraceSink(path)
+        with pytest.raises(ValueError):
+            with sink.span("job.boom"):
+                raise ValueError("boom")
+        sink.close()
+        end = [r for r in self.read_records(path.read_text()) if r["record"] == RECORD_SPAN_END][-1]
+        assert end["error"] == "ValueError"
+
+    def test_borrowed_handle_survives_close(self):
+        handle = io.StringIO()
+        sink = TraceSink(handle)
+        sink.event("ping")
+        sink.close()
+        assert not handle.closed
+        records = self.read_records(handle.getvalue())
+        assert [r["name"] for r in records] == ["trace", "ping"]
+
+    def test_write_failure_silences_sink_instead_of_raising(self):
+        class BrokenHandle:
+            def write(self, _):
+                raise OSError("disk full")
+
+        sink = TraceSink(BrokenHandle())
+        assert sink.closed  # the header write already failed
+        sink.event("ignored")  # must not raise
+        with sink.span("still.fine"):
+            pass
+        sink.close()
+
+    def test_close_is_idempotent(self, tmp_path):
+        sink = TraceSink(tmp_path / "trace.jsonl")
+        sink.close()
+        sink.close()
+        assert sink.closed
+
+
+# ----------------------------------------------------------------------
+# Telemetry is descriptive, never load-bearing
+# ----------------------------------------------------------------------
+class TestTelemetryNeutrality:
+    def test_traced_and_untraced_sweeps_are_byte_identical(self, tmp_path):
+        plain = run_sweep(store_path=tmp_path / "plain.db")
+        METRICS.reset()
+        traced = run_sweep(store_path=tmp_path / "traced.db", trace_path=tmp_path / "t.jsonl")
+        assert results_to_json(plain.records) == results_to_json(traced.records)
+        assert plain.summaries == traced.summaries
+        assert (tmp_path / "t.jsonl").exists()
+
+    def test_telemetry_off_is_byte_identical_to_on(self, tmp_path):
+        enabled = run_sweep(store_path=tmp_path / "on.db")
+        set_enabled(False)
+        METRICS.reset()
+        disabled = run_sweep(store_path=tmp_path / "off.db")
+        assert results_to_json(enabled.records) == results_to_json(disabled.records)
+        assert enabled.summaries == disabled.summaries
+        # And with telemetry off, nothing moved.
+        assert all(value == 0 for value in METRICS.counter_values().values())
+
+    def test_traced_parallel_matches_untraced_serial(self, tmp_path):
+        serial = run_sweep()
+        parallel = run_sweep(trace_path=tmp_path / "t.jsonl", parallel=2)
+        assert results_to_json(serial.records) == results_to_json(parallel.records)
+
+
+# ----------------------------------------------------------------------
+# The persisted telemetry table
+# ----------------------------------------------------------------------
+class TestTelemetryTable:
+    def test_put_get_round_trip(self, tmp_path):
+        with RunStore(tmp_path / "runs.db") as store:
+            snapshot_id = store.put_telemetry("sweep", {"registry": {"counters": {"x": 1}}})
+            assert snapshot_id is not None
+            record = store.get_telemetry()
+            assert record.snapshot_id == snapshot_id
+            assert record.label == "sweep"
+            assert record.snapshot["registry"]["counters"]["x"] == 1
+
+    def test_latest_wins_and_filters(self, tmp_path):
+        with RunStore(tmp_path / "runs.db") as store:
+            first = store.put_telemetry("sweep", {"n": 1})
+            store.put_telemetry("fuzz", {"n": 2})
+            last = store.put_telemetry("sweep", {"n": 3})
+            assert store.get_telemetry().snapshot == {"n": 3}
+            assert store.get_telemetry(label="fuzz").snapshot == {"n": 2}
+            assert store.get_telemetry(snapshot_id=first).snapshot == {"n": 1}
+            assert store.get_telemetry(snapshot_id=last).label == "sweep"
+            assert store.get_telemetry(snapshot_id=9999) is None
+            assert [r.snapshot["n"] for r in store.iter_telemetry()] == [1, 2, 3]
+            assert [r.snapshot["n"] for r in store.iter_telemetry(label="sweep")] == [1, 3]
+            assert store.count_telemetry() == 3
+
+    def test_put_failure_returns_none_instead_of_raising(self, tmp_path):
+        with RunStore(tmp_path / "runs.db") as store:
+            assert store.put_telemetry("sweep", {"bad": object()}) is None
+
+    def test_sweep_job_persists_a_snapshot_with_nonzero_counters(self, tmp_path):
+        run_sweep(store_path=tmp_path / "runs.db")
+        with open_run_store(tmp_path / "runs.db") as store:
+            record = store.get_telemetry(label="sweep")
+        assert record is not None
+        counters = record.snapshot["registry"]["counters"]
+        assert counters["runner.tasks.dispatched"] == 4
+        assert counters["store.stored"] == 4
+        assert record.snapshot["job_counters"]["job.sweep.submitted"] == 1
+        assert record.snapshot["status"] == "Complete"
+        assert isinstance(record.snapshot["supervision"], dict)
+        assert record.snapshot["store"]["stored"] == 4
+
+    def test_pre_telemetry_store_file_is_upgraded_in_place(self, tmp_path):
+        # Simulate a store created before the telemetry table existed.
+        path = tmp_path / "old.db"
+        with RunStore(path) as store:
+            store._connection().execute("DROP TABLE telemetry")
+            store._connection().commit()
+        with RunStore(path) as store:
+            assert store.count_telemetry() == 0
+            assert store.put_telemetry("sweep", {"ok": True}) is not None
+
+
+# ----------------------------------------------------------------------
+# JobEvent sequence + metrics payload
+# ----------------------------------------------------------------------
+class TestJobEventSequence:
+    def collect(self, **kwargs):
+        events = []
+        run_sweep(on_event=events.append, **kwargs)
+        return events
+
+    def test_sequence_is_monotonic_from_zero(self):
+        events = self.collect()
+        assert [event.sequence for event in events] == list(range(len(events)))
+
+    def test_sequence_is_monotonic_under_parallel_sweeps(self):
+        events = self.collect(parallel=2)
+        assert [event.sequence for event in events] == list(range(len(events)))
+
+    def test_each_job_restarts_its_sequence(self, tmp_path):
+        job = SweepJob(scenario_payloads=slice_payloads(), seeds=(1,))
+        with ExecutionSession(store_path=tmp_path / "runs.db") as session:
+            first, second = [], []
+            session.submit(job, on_event=first.append)
+            session.submit(job, on_event=second.append)
+        assert first[0].sequence == 0 and second[0].sequence == 0
+        assert [e.sequence for e in second] == list(range(len(second)))
+
+    def test_terminal_status_event_carries_metrics_delta(self):
+        events = self.collect()
+        terminal = [e for e in events if e.kind == EVENT_STATUS][-1]
+        assert terminal.status == "Complete"
+        assert terminal.metrics["job.sweep.submitted"] == 1
+        assert terminal.metrics["runner.tasks.dispatched"] == 4
+        non_terminal = [e for e in events if e.kind == EVENT_STATUS][0]
+        assert non_terminal.metrics is None
+
+    def test_to_dict_round_trips_sequence_and_metrics(self):
+        event = JobEvent(
+            job="sweep", kind=EVENT_STATUS, status="Complete", sequence=7, metrics={"a": 1}
+        )
+        payload = event.to_dict()
+        assert payload["sequence"] == 7 and payload["metrics"] == {"a": 1}
+        assert JobEvent(**payload) == event
+        json.dumps(payload)  # stays JSON-ready
+
+
+# ----------------------------------------------------------------------
+# The stats subcommand
+# ----------------------------------------------------------------------
+class TestStatsCli:
+    @pytest.fixture()
+    def populated(self, tmp_path):
+        db = tmp_path / "runs.db"
+        assert run_cli("run", "--scenario", *SLICE, "--seeds", "2", "--store", str(db), "--quiet") == 0
+        return db
+
+    def test_live_registry_rendering(self, capsys):
+        run_sweep()
+        assert run_cli("stats") == 0
+        out = capsys.readouterr().out
+        assert "telemetry (live registry):" in out
+        assert "runner.tasks.dispatched = 4" in out
+
+    def test_persisted_snapshot_text_and_json(self, populated, capsys):
+        assert run_cli("stats", "--store", str(populated)) == 0
+        out = capsys.readouterr().out
+        assert "telemetry snapshot" in out and "status=Complete" in out
+        assert "runner.tasks.dispatched = 4" in out
+        assert "supervision:" in out
+        assert run_cli("stats", "--store", str(populated), "--json") == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["source"] == "store" and payload["label"] == "sweep"
+        assert payload["registry"]["counters"]["runner.tasks.dispatched"] == 4
+
+    def test_snapshot_id_and_label_selection(self, populated, capsys):
+        with open_run_store(populated) as store:
+            wanted = store.put_telemetry("fuzz", {"registry": {"counters": {"only.me": 9}}})
+        assert run_cli("stats", "--store", str(populated), "--label", "fuzz", "--json") == 0
+        assert json.loads(capsys.readouterr().out)["registry"]["counters"]["only.me"] == 9
+        assert run_cli("stats", "--store", str(populated), "--snapshot", str(wanted), "--json") == 0
+        assert json.loads(capsys.readouterr().out)["snapshot_id"] == wanted
+
+    def test_markdown_and_prometheus_outputs(self, populated, tmp_path, capsys):
+        assert run_cli("stats", "--store", str(populated), "--markdown") == 0
+        assert "| runner.tasks.dispatched | counter | 4 |" in capsys.readouterr().out
+        prom = tmp_path / "metrics.prom"
+        assert run_cli("stats", "--store", str(populated), "--prometheus", str(prom)) == 0
+        assert "repro_runner_tasks_dispatched_total 4" in prom.read_text()
+
+    def test_empty_store_exits_3(self, tmp_path, capsys):
+        db = tmp_path / "empty.db"
+        RunStore(db).close()
+        assert run_cli("stats", "--store", str(db)) == 3
+        assert "empty slice:" in capsys.readouterr().err
+
+    def test_missing_store_and_misused_flags_exit_2(self, tmp_path, capsys):
+        assert run_cli("stats", "--store", str(tmp_path / "nope.db")) == 2
+        assert run_cli("stats", "--snapshot", "1") == 2
+        assert run_cli("stats", "--label", "sweep") == 2
+        assert "error:" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# Profiling hooks
+# ----------------------------------------------------------------------
+class TestProfiling:
+    def test_worker_profiling_exports_and_restores_env(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(PROFILE_DIR_ENV, raising=False)
+        assert profile_directory() is None
+        with worker_profiling(tmp_path / "prof"):
+            assert profile_directory() == str(tmp_path / "prof")
+        assert profile_directory() is None
+
+    def test_profiled_sweep_dumps_and_merges(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(PROFILE_DIR_ENV, raising=False)
+        profile_dir = tmp_path / "prof"
+        with worker_profiling(profile_dir):
+            run_sweep()
+        dumps = list(profile_dir.glob("worker-*.pstats"))
+        assert dumps, "serial sweep should leave this process's profile behind"
+        stats = merge_profiles(profile_dir, output=profile_dir / "merged.pstats")
+        assert stats is not None
+        assert (profile_dir / "merged.pstats").exists()
+        lines = top_functions(stats, limit=5)
+        assert 0 < len(lines) <= 5
+        assert all("calls" in line for line in lines)
+
+    def test_merge_skips_corrupt_dumps(self, tmp_path):
+        (tmp_path / "worker-1.pstats").write_bytes(b"not a pstats dump")
+        assert merge_profiles(tmp_path) is None
+
+    def test_run_profile_flag_end_to_end(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.delenv(PROFILE_DIR_ENV, raising=False)
+        profile_dir = tmp_path / "prof"
+        code = run_cli(
+            "run", "--scenario", SLICE[0], "--seeds", "1", "--profile", str(profile_dir), "--quiet"
+        )
+        assert code == 0
+        assert (profile_dir / "merged.pstats").exists()
+        assert "profile" in capsys.readouterr().out
+
+    def test_profiled_run_is_byte_identical_to_bare(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(PROFILE_DIR_ENV, raising=False)
+        bare = run_sweep()
+        with worker_profiling(tmp_path / "prof"):
+            profiled = run_sweep()
+        assert results_to_json(bare.records) == results_to_json(profiled.records)
+
+
+# ----------------------------------------------------------------------
+# report surfaces poison + supervision
+# ----------------------------------------------------------------------
+class TestReportSurfacesPoisonAndSupervision:
+    def test_report_text_and_json_include_poison_and_supervision(self, tmp_path, capsys):
+        db = tmp_path / "runs.db"
+        assert run_cli("run", "--scenario", *SLICE, "--seeds", "2", "--store", str(db), "--quiet") == 0
+        with open_run_store(db) as store:
+            spec = select_scenarios([SLICE[0]])[0]
+            store.put_poison(spec, 99, attempts=3, reason="worker kept dying")
+        capsys.readouterr()
+        json_path = tmp_path / "report.json"
+        assert run_cli("report", "--store", str(db), "--json-output", str(json_path)) == 0
+        out = capsys.readouterr().out
+        assert "poison: 1 quarantined task(s)" in out
+        assert "worker kept dying (3 attempts)" in out
+        assert "supervision (last sweep):" in out
+        payload = json.loads(json_path.read_text())
+        assert payload["poison"] == [
+            {"scenario": SLICE[0], "seed": 99, "attempts": 3, "reason": "worker kept dying"}
+        ]
+        assert set(payload["supervision"]) == {
+            "crashes_detected", "dispatched", "quarantined", "respawns", "retries",
+        }
+        assert "scenarios" in payload and "format_version" in payload
+
+    def test_report_json_without_poison_is_an_empty_list(self, tmp_path, capsys):
+        db = tmp_path / "runs.db"
+        assert run_cli("run", "--scenario", SLICE[0], "--seeds", "1", "--store", str(db), "--quiet") == 0
+        json_path = tmp_path / "report.json"
+        assert run_cli("report", "--store", str(db), "--quiet", "--json-output", str(json_path)) == 0
+        payload = json.loads(json_path.read_text())
+        assert payload["poison"] == []

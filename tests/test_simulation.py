@@ -197,6 +197,53 @@ class TestWordSize:
 
         assert word_size(KeyAuthority(4).sign(0, "m")) == 1
 
+    def test_bytes_cost_one_word_per_64_bytes(self):
+        assert word_size(b"") == 1  # even an empty blob occupies a word
+        assert word_size(b"x" * 64) == 1
+        assert word_size(b"x" * 65) == 2
+        assert word_size(bytearray(200)) == 4
+
+    def test_nested_empty_containers_floor_at_one_word(self):
+        assert word_size(()) == 1
+        assert word_size([]) == 1
+        assert word_size(((), ())) == 2  # each empty element still costs its floor
+        assert word_size([[], {}]) == 2
+        assert word_size({}) == 1
+        assert word_size(frozenset()) == 1
+
+    def test_subclass_words_override_beats_builtin_fast_paths(self):
+        class SizedInt(int):
+            @property
+            def words(self):
+                return 5
+
+        class SizedBytes(bytes):
+            @property
+            def words(self):
+                return 2
+
+        class SizedTuple(tuple):
+            @property
+            def words(self):
+                return 7
+
+        assert word_size(SizedInt(3)) == 5
+        assert word_size(SizedBytes(b"x" * 1000)) == 2  # override, not len//64
+        assert word_size(SizedTuple((1, 2, 3))) == 7  # override, not element sum
+        # The override is floored at one word and must be an int to count.
+        class ZeroWords(int):
+            @property
+            def words(self):
+                return 0
+
+        class BogusWords(int):
+            @property
+            def words(self):
+                return "many"
+
+        assert word_size(ZeroWords(9)) == 1
+        assert word_size(BogusWords(9)) == 1  # falls through to the int rule
+
 
 class TestModuleRouting:
     def test_messages_routed_by_path(self):
