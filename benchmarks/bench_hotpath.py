@@ -40,7 +40,7 @@ _SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
 if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
 
-from repro.coding import ReedSolomonCode, Fragment  # noqa: E402
+from repro.coding import ReedSolomonCode, Fragment, np_backend  # noqa: E402
 from repro.core import SystemConfig  # noqa: E402
 from repro.experiments import DEFAULT_SEED, Runner, make_scenario, sweep_seeds  # noqa: E402
 from repro.sim import Process, ProtocolModule, Simulation, SynchronousDelayModel  # noqa: E402
@@ -152,8 +152,12 @@ def bench_reed_solomon(quick: bool) -> dict:
     import random
 
     n, k = 24, 8
-    clean_size = 8_192 if quick else 65_536
-    dirty_size = 512 if quick else 2_048
+    # The large blob is the same size in quick mode: the optimized codec
+    # decodes it in tens of milliseconds either way, and the --check gate
+    # then always compares same-size corrupted-decode measurements.  Only
+    # the reference codec's blob shrinks (it runs at ~0.002 MB/s).
+    large_size = 65_536
+    small_size = 512 if quick else 2_048
     rng = random.Random(DEFAULT_SEED)
     codec = ReedSolomonCode(total_symbols=n, data_symbols=k)
     reference_codec = (
@@ -175,19 +179,29 @@ def bench_reed_solomon(quick: bool) -> dict:
             "decode_mb_s": round(mb / decode_time, 3),
         }
 
-    clean_blob = bytes(rng.randrange(256) for _ in range(clean_size))
-    dirty_blob = bytes(rng.randrange(256) for _ in range(dirty_size))
+    large_blob = bytes(rng.randrange(256) for _ in range(large_size))
+    small_blob = bytes(rng.randrange(256) for _ in range(small_size))
     report = {
         "n": n,
         "k": k,
-        "optimized_clean": measure(codec, clean_blob, 0, repeat=3),
+        # Which kernels actually ran: regression gates only compare numbers
+        # measured under the same backend as the committed baseline.
+        "coding_backend": {
+            "resolved": codec.backend,
+            "numpy_available": np_backend.numpy_available(),
+        },
+        # Clean and corrupted decode are measured on the SAME blob sizes —
+        # a corrupted number taken on a blob 32x smaller than the clean one
+        # would hide the per-byte cost of error correction.
+        "optimized_clean": measure(codec, large_blob, 0, repeat=3),
+        "optimized_corrupted": measure(codec, large_blob, 3, repeat=2),
         # The small-blob entries exist so speedup ratios divide measurements
         # of the *same* workload (the reference codec cannot afford the big
-        # clean blob; fixed per-call overhead would bias a cross-size ratio).
-        "optimized_small_clean": measure(codec, dirty_blob, 0, repeat=3),
-        "optimized_corrupted": measure(codec, dirty_blob, 3, repeat=2),
-        "reference_clean": measure(reference_codec, dirty_blob, 0, repeat=2),
-        "reference_corrupted": measure(reference_codec, dirty_blob, 3, repeat=1),
+        # blobs; fixed per-call overhead would bias a cross-size ratio).
+        "optimized_small_clean": measure(codec, small_blob, 0, repeat=3),
+        "optimized_small_corrupted": measure(codec, small_blob, 3, repeat=2),
+        "reference_clean": measure(reference_codec, small_blob, 0, repeat=2),
+        "reference_corrupted": measure(reference_codec, small_blob, 3, repeat=1),
     }
     reference_is_live = rs_reference is not None
     report["reference_is_distinct"] = reference_is_live
@@ -203,7 +217,7 @@ def bench_reed_solomon(quick: bool) -> dict:
             2,
         )
         report["corrupted_decode_speedup_vs_reference"] = round(
-            report["optimized_corrupted"]["decode_mb_s"]
+            report["optimized_small_corrupted"]["decode_mb_s"]
             / report["reference_corrupted"]["decode_mb_s"],
             2,
         )
@@ -228,18 +242,41 @@ _MATRIX_SLICE = (
 def bench_matrix(quick: bool) -> dict:
     scenarios = [make_scenario(p, a, d) for p, a, d in _MATRIX_SLICE]
     seeds = sweep_seeds(1 if quick else 3)
-    with Runner(parallel=4, timeout=300.0) as runner:
-        started = time.perf_counter()
-        results = runner.run(scenarios, seeds)
-        elapsed = time.perf_counter() - started
-    failures = [result.scenario for result in results if not result.ok]
+
+    def timed_sweep(batch_size):
+        # Steady-state throughput: one untimed sweep warms the persistent
+        # worker pool, then best-of-3 timed sweeps (the same best-of
+        # convention as _time_call) measure the dispatch hot path without
+        # conflating it with one-time pool boot cost.
+        with Runner(parallel=4, timeout=300.0, batch_size=batch_size) as runner:
+            runner.run(scenarios, seeds)
+            best = float("inf")
+            for _ in range(3):
+                started = time.perf_counter()
+                results = runner.run(scenarios, seeds)
+                best = min(best, time.perf_counter() - started)
+        failures = [result.scenario for result in results if not result.ok]
+        return {
+            "batch_size": "auto" if batch_size is None else batch_size,
+            "runs": len(results),
+            "failures": failures,
+            "seconds": round(best, 3),
+            "runs_per_sec": round(len(results) / best, 3),
+        }
+
+    unbatched = timed_sweep(1)
+    batched = timed_sweep(None)  # the default: auto-sized microbatches
     return {
         "scenarios": len(scenarios),
         "seeds": len(seeds),
-        "runs": len(results),
-        "failures": failures,
-        "seconds": round(elapsed, 3),
-        "runs_per_sec": round(len(results) / elapsed, 3),
+        "runs": batched["runs"],
+        "failures": unbatched["failures"] + batched["failures"],
+        # Headline numbers are the default configuration (auto batching).
+        "seconds": batched["seconds"],
+        "runs_per_sec": batched["runs_per_sec"],
+        "batched": batched,
+        "unbatched": unbatched,
+        "batching_speedup": round(batched["runs_per_sec"] / unbatched["runs_per_sec"], 3),
     }
 
 
@@ -335,11 +372,37 @@ def check_against(measured: dict, committed_path: pathlib.Path, max_regression: 
         f"events/sec: measured {measured_eps:.0f}, committed {stored_eps:.0f}, "
         f"floor {floor:.0f} ({max_regression:.0%} regression budget)"
     )
+    failed = False
     if measured["matrix"]["failures"]:
         print(f"FAIL: matrix slice runs failed: {measured['matrix']['failures']}")
-        return 1
+        failed = True
     if measured_eps < floor:
         print("FAIL: event-core throughput regressed beyond the budget")
+        failed = True
+    # The corrupted-decode path regressed silently once (measured on a blob
+    # 32x smaller than the clean path); gate it explicitly — but only when
+    # this environment resolved the same coding backend the committed
+    # numbers were measured under (a no-numpy runner is slower by design).
+    stored_rs = stored.get("reed_solomon", {})
+    measured_rs = measured["reed_solomon"]
+    stored_backend = stored_rs.get("coding_backend")
+    if stored_backend is not None and stored_backend == measured_rs.get("coding_backend"):
+        stored_dirty = stored_rs["optimized_corrupted"]["decode_mb_s"]
+        measured_dirty = measured_rs["optimized_corrupted"]["decode_mb_s"]
+        dirty_floor = stored_dirty * (1.0 - max_regression)
+        print(
+            f"corrupted decode MB/s: measured {measured_dirty:.3f}, committed "
+            f"{stored_dirty:.3f}, floor {dirty_floor:.3f}"
+        )
+        if measured_dirty < dirty_floor:
+            print("FAIL: corrupted-decode throughput regressed beyond the budget")
+            failed = True
+    elif stored_backend is not None:
+        print(
+            "skip: corrupted-decode gate (coding backend differs from the committed baseline: "
+            f"{measured_rs.get('coding_backend')} vs {stored_backend})"
+        )
+    if failed:
         return 1
     print("ok: no hot-path regression")
     return 0

@@ -1,16 +1,20 @@
 """Erasure/error-correcting coding substrate: GF(256), Reed-Solomon, and ADD.
 
 :mod:`repro.coding.gf256` / :mod:`repro.coding.reed_solomon` are the
-vectorized production implementations; :mod:`repro.coding.reference` keeps
-the original element-at-a-time codec as the differential-testing oracle.
+vectorized production implementations; :mod:`repro.coding.np_backend` adds
+optional numpy batch kernels (selected via ``REPRO_CODING_BACKEND``, falling
+back to the table path when numpy is absent); :mod:`repro.coding.reference`
+keeps the original element-at-a-time codec as the differential-testing
+oracle.  All three are byte-identical by construction.
 """
 
-from . import gf256, reference
+from . import gf256, np_backend, reference
 from .add import AsynchronousDataDissemination
 from .reed_solomon import DecodingError, Fragment, ReedSolomonCode
 
 __all__ = [
     "gf256",
+    "np_backend",
     "reference",
     "ReedSolomonCode",
     "Fragment",

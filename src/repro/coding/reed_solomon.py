@@ -35,7 +35,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from . import gf256
+from . import gf256, np_backend
 
 _MUL = gf256.MUL_TABLE
 _INVERSE = gf256._INVERSE
@@ -117,7 +117,7 @@ class Fragment:
 class ReedSolomonCode:
     """A ``(n, k)`` Reed-Solomon code over GF(256)."""
 
-    def __init__(self, total_symbols: int, data_symbols: int):
+    def __init__(self, total_symbols: int, data_symbols: int, backend: Optional[str] = None):
         if not 1 <= data_symbols <= total_symbols:
             raise ValueError("need 1 <= data_symbols <= total_symbols")
         if total_symbols > gf256.FIELD_SIZE - 1:
@@ -126,6 +126,15 @@ class ReedSolomonCode:
         self.data_symbols = data_symbols
         self.evaluation_points = list(range(1, total_symbols + 1))
         self._basis_cache: Dict[Tuple[int, ...], List[List[int]]] = {}
+        # ``None`` inherits the import-time REPRO_CODING_BACKEND resolution;
+        # an explicit name is resolved (and validated) per instance.  Both
+        # backends are byte-identical, so this only affects speed.
+        self.backend = (
+            np_backend.DEFAULT_BACKEND if backend is None else np_backend.resolve_backend(backend)
+        )
+
+    def _use_numpy(self, chunk_count: int) -> bool:
+        return np_backend.use_numpy(self.backend, chunk_count)
 
     # ------------------------------------------------------------------
     def max_correctable_errors(self, received: int) -> int:
@@ -146,6 +155,13 @@ class ReedSolomonCode:
         padded = blob + bytes(chunk_count * k - len(blob))
         rows = [padded[row::k] for row in range(k)]
         blob_length = len(blob)
+        if self._use_numpy(chunk_count):
+            return [
+                Fragment(index=index, symbols=tuple(symbol_row), blob_length=blob_length)
+                for index, symbol_row in enumerate(
+                    np_backend.encode_symbol_rows(rows, self.evaluation_points)
+                )
+            ]
         fragments = []
         for index, point in enumerate(self.evaluation_points):
             point_row = _MUL[point]
@@ -206,6 +222,8 @@ class ReedSolomonCode:
         ordered = sorted(usable.items())
         points = [self.evaluation_points[index] for index, _ in ordered]
         symbol_rows = [bytes(fragment.symbols) for _, fragment in ordered]
+        if self._use_numpy(chunk_count):
+            return self._decode_shape_numpy(points, symbol_rows, blob_length, chunk_count)
 
         # Fast path: interpolate through the first k fragments across every
         # chunk at once, then verify the candidate against every received
@@ -248,6 +266,20 @@ class ReedSolomonCode:
                     )
                     data[chunk_index * k : (chunk_index + 1) * k] = bytes(coefficients)
         return bytes(data[:blob_length])
+
+    def _decode_shape_numpy(
+        self, points: List[int], symbol_rows: List[bytes], blob_length: int, chunk_count: int
+    ) -> bytes:
+        """Numpy twin of the table ``_decode_shape`` body: interpolate-verify
+        windows over the fragment matrix, with the per-chunk Berlekamp-Welch
+        fallback replaced by one batched solve over every unexplained chunk
+        (see :func:`repro.coding.np_backend.decode_coefficient_rows` for the
+        byte-identity argument)."""
+        coefficients = np_backend.decode_coefficient_rows(
+            points, self.data_symbols, symbol_rows, self._interpolation_basis
+        )
+        # Interleave back to chunk-major bytes: data[chunk * k + row].
+        return coefficients.T.tobytes()[:blob_length]
 
     def _interpolation_basis(self, points: Tuple[int, ...]) -> List[List[int]]:
         """The inverse Vandermonde of ``points``: ``coeffs = basis @ symbols``.

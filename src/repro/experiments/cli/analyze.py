@@ -13,10 +13,10 @@ from .common import (
     DEFAULT_MATRIX_BASELINE,
     DEFAULT_VERDICT_BASELINE,
     add_observability_arguments,
+    add_parallelism_arguments,
     add_resilience_arguments,
     fail,
 )
-from .validators import positive_int
 
 
 def add_parser(subparsers) -> None:
@@ -32,9 +32,7 @@ def add_parser(subparsers) -> None:
         help="restrict the classified property families (default: all, plus the "
         "properties the scenario matrix targets)",
     )
-    analyze.add_argument(
-        "--parallel", type=positive_int, default=None, metavar="W", help="worker processes (default: serial)"
-    )
+    add_parallelism_arguments(analyze)
     add_resilience_arguments(analyze)
     add_observability_arguments(analyze)
     analyze.add_argument(
@@ -110,6 +108,7 @@ def command_analyze(args: argparse.Namespace) -> int:
     try:
         with ExecutionSession(
             parallel=args.parallel,
+            batch_size=args.batch_size,
             store_path=args.store,
             max_retries=args.max_retries,
             fail_fast=args.fail_fast,

@@ -19,7 +19,7 @@ from ...jobs import (
 from ...jobs.status import EXIT_FAILURE, exit_code_for
 from ...store.store import StoreFormatError
 from ..runner import DEFAULT_SEED
-from .common import add_observability_arguments, add_resilience_arguments, fail
+from .common import add_observability_arguments, add_parallelism_arguments, add_resilience_arguments, fail
 from .validators import positive_float, positive_int
 
 
@@ -57,9 +57,7 @@ def add_parser(subparsers) -> None:
         help="persistent run store: results + corpus are content-addressed there, so a "
         "warm re-fuzz of the same campaign executes zero runs",
     )
-    fuzz.add_argument(
-        "--parallel", type=positive_int, default=None, metavar="W", help="worker processes (default: serial)"
-    )
+    add_parallelism_arguments(fuzz)
     fuzz.add_argument(
         "--timeout", type=positive_float, default=None, help="per-run wall-clock timeout in seconds"
     )
@@ -109,6 +107,7 @@ def command_fuzz(args: argparse.Namespace) -> int:
     try:
         with ExecutionSession(
             parallel=args.parallel,
+            batch_size=args.batch_size,
             timeout=args.timeout,
             store_path=args.store,
             max_retries=args.max_retries,

@@ -20,8 +20,14 @@ from ...store.store import StoreFormatError
 from ..aggregate import check_baseline, results_to_json, summaries_to_payload, write_baseline
 from ..runner import DEFAULT_SEED
 from ..scenario import ScenarioSpec
-from .common import add_observability_arguments, add_resilience_arguments, add_slice_arguments, fail
-from .validators import parse_seeds, positive_float, positive_int
+from .common import (
+    add_observability_arguments,
+    add_parallelism_arguments,
+    add_resilience_arguments,
+    add_slice_arguments,
+    fail,
+)
+from .validators import parse_seeds, positive_float
 
 
 def add_parser(subparsers) -> None:
@@ -41,9 +47,7 @@ def add_parser(subparsers) -> None:
         help="replay a single scenario from JSON — a fuzz counterexample file or a bare "
         "spec payload (as in --list --json); overrides any matrix slice selection",
     )
-    run.add_argument(
-        "--parallel", type=positive_int, default=None, metavar="W", help="worker processes (default: serial)"
-    )
+    add_parallelism_arguments(run)
     run.add_argument(
         "--timeout", type=positive_float, default=None, help="per-run wall-clock timeout in seconds"
     )
@@ -172,6 +176,7 @@ def command_run(args: argparse.Namespace) -> int:
         with _maybe_profiled(args.profile):
             with ExecutionSession(
                 parallel=args.parallel,
+                batch_size=args.batch_size,
                 timeout=args.timeout,
                 store_path=args.store,
                 max_retries=args.max_retries,

@@ -93,28 +93,49 @@ class SupervisionStats:
         }
 
 
-def _supervised_invoke(
-    worker: Any, fault: Optional[str], hang_seconds: float, indexed_item: Tuple[int, Any]
-) -> Any:
-    """Worker entry: apply any injected fault, then run the real task.
+def _supervised_invoke_batch(
+    worker: Any,
+    faults: Tuple[Optional[str], ...],
+    hang_seconds: float,
+    indexed_items: Tuple[Tuple[int, Any], ...],
+) -> List[Any]:
+    """Worker entry for a microbatch: run each item, faults applied per item.
 
-    Top-level and import-light so it pickles into spawned workers; the
-    fault tag is computed parent-side (deterministically, from the
-    :class:`~repro.resilience.faults.FaultPlan`) and travels with the
-    dispatch.
+    Items execute in item order with their *own* fault tags, so a crash
+    entry keyed to the third task of a batch kills the worker exactly when
+    that task is reached — the already-computed results die with the
+    process, the parent loses the whole batch, and recovery splits it back
+    into per-task dispatches (see :meth:`Supervisor._recover`).  Faults
+    therefore stay attributable per task even though pickle/dispatch
+    overhead is paid once per batch.
     """
-    apply_worker_fault(fault, hang_seconds)
-    return worker(indexed_item)
+    results: List[Any] = []
+    for fault, indexed_item in zip(faults, indexed_items):
+        apply_worker_fault(fault, hang_seconds)
+        results.append(worker(indexed_item))
+    return results
 
 
 @dataclass
 class _Task:
-    """Parent-side state for one dispatched slot."""
+    """Parent-side state for one dispatched batch of slots.
 
-    index: int
-    item: Any
+    ``items`` is the ordered ``(index, item)`` list travelling in one
+    worker dispatch — a plain task is just a batch of one.  A batch shares
+    one attempt counter; after a crash, multi-item batches are split into
+    singletons that *inherit* the counter, so the per-task attempt
+    accounting the retry policy and quarantine thresholds reason about is
+    preserved (the batch dispatch was attempt one for every member).
+    """
+
+    items: List[Tuple[int, Any]]
     attempts: int = 0
     eligible_at: float = 0.0
+
+    @property
+    def index(self) -> int:
+        """The batch's first slot — its identity in logs and bookkeeping."""
+        return self.items[0][0]
 
 
 class Supervisor:
@@ -219,7 +240,14 @@ class Supervisor:
         return None
 
     def _recover(self, reason: str, queue: Deque[_Task]) -> List[Tuple[int, PoisonRecord]]:
-        """Respawn the pool; requeue or quarantine every unharvested task."""
+        """Respawn the pool; requeue, split or quarantine every unharvested task.
+
+        A lost multi-item batch is never retried (or quarantined) wholesale:
+        it splits into singleton tasks inheriting the batch's attempt count,
+        so the culprit is re-executed in isolation and quarantine decisions
+        stay per-task — an injected poison fault takes down exactly its own
+        task, and the innocent batch-mates simply re-run.
+        """
         self.stats.crashes_detected += 1
         _OBS_CRASHES.inc()
         lost = [entry[2] for entry in self._outstanding.values()]
@@ -234,8 +262,20 @@ class Supervisor:
         _OBS_RESPAWNS.inc()
         poisoned: List[Tuple[int, PoisonRecord]] = []
         now = time.monotonic()
-        for task in reversed(lost):  # appendleft keeps original dispatch order
-            if task.attempts >= self._policy.max_attempts:
+        singles: List[Tuple[_Task, bool]] = []
+        for task in lost:
+            if len(task.items) > 1:
+                singles.extend(
+                    (_Task(items=[pair], attempts=task.attempts), True) for pair in task.items
+                )
+            else:
+                singles.append((task, False))
+        for task, fresh_split in reversed(singles):  # appendleft keeps original dispatch order
+            # A singleton fresh off a batch split has never run in isolation,
+            # so it cannot be quarantined off this crash — the culprit could
+            # be any batch-mate.  It is requeued even with its attempt budget
+            # spent; the *next* crash (now attributable) quarantines it.
+            if not fresh_split and task.attempts >= self._policy.max_attempts:
                 self.stats.quarantined += 1
                 _OBS_QUARANTINED.inc()
                 self._log(
@@ -256,7 +296,7 @@ class Supervisor:
     # The dispatch loop
     # ------------------------------------------------------------------
     def map_unordered(
-        self, worker: Any, indexed_items: Iterable[Tuple[int, Any]]
+        self, worker: Any, indexed_items: Iterable[Tuple[int, Any]], batch_size: int = 1
     ) -> Iterator[Tuple[int, Any]]:
         """Yield ``worker((index, item))`` results in completion order.
 
@@ -264,8 +304,20 @@ class Supervisor:
         worker contract).  A quarantined task yields
         ``(index, PoisonRecord)`` instead; the caller decides whether that
         aborts the sweep or becomes a typed poison result.
+
+        ``batch_size`` microbatches dispatch: consecutive items travel to a
+        worker in chunks of that size, amortizing pickle and pool plumbing
+        over the chunk while results are still yielded (and faults still
+        injected, retried and quarantined) per item.  Results within a
+        harvested batch arrive in item order; across batches, completion
+        order — the caller's reorder buffer makes both invisible.
         """
-        queue: Deque[_Task] = deque(_Task(index=index, item=item) for index, item in indexed_items)
+        items_list = list(indexed_items)
+        batch_size = max(1, int(batch_size))
+        queue: Deque[_Task] = deque(
+            _Task(items=items_list[start : start + batch_size])
+            for start in range(0, len(items_list), batch_size)
+        )
         hang_seconds = self._faults.plan.hang_seconds if self._faults.plan else 0.0
         while queue or self._outstanding:
             now = time.monotonic()
@@ -276,11 +328,17 @@ class Supervisor:
                 if self._pids is None:
                     self._pids = self._worker_pids(pool)
                 task.attempts += 1
-                self.stats.dispatched += 1
-                _OBS_DISPATCHED.inc()
-                fault = self._faults.worker_fault((self._call, task.index), task.attempts)
+                self.stats.dispatched += len(task.items)
+                _OBS_DISPATCHED.inc(len(task.items))
+                # One fault tag per item, computed in item order so the
+                # plan's dispatch numbering is identical at every batch size.
+                faults = tuple(
+                    self._faults.worker_fault((self._call, index), task.attempts)
+                    for index, _item in task.items
+                )
                 async_result = pool.apply_async(
-                    _supervised_invoke, (worker, fault, hang_seconds, (task.index, task.item))
+                    _supervised_invoke_batch,
+                    (worker, faults, hang_seconds, tuple(task.items)),
                 )
                 self._outstanding[task.index] = (async_result, time.monotonic(), task)
             # Harvest everything that completed.
@@ -294,7 +352,7 @@ class Supervisor:
                     # .get() re-raises an exception the task itself raised —
                     # that is a task failure, not a worker fault, and it
                     # propagates exactly as it did under imap_unordered.
-                    yield async_result.get()
+                    yield from async_result.get()
                 continue
             if not self._outstanding:
                 # Nothing in flight: the front task is backing off.
